@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md): it sweeps the relevant parameter, prints
+the resulting rows/series, and persists them under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote them.  The pytest-benchmark fixture times one
+representative unit of work per module so that ``pytest benchmarks/
+--benchmark-only`` also produces wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.instrumentation.reporting import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: epsilon sweep used by most benchmarks (1/eps a power of two, Section 3)
+EPS_SWEEP = (0.5, 0.25, 0.125)
+
+#: smaller sweep for the more expensive dynamic benchmarks
+EPS_SWEEP_SMALL = (0.5, 0.25)
+
+
+def boosting_workload(seed: int = 0, er_n: int = 80, er_p: float = 0.05,
+                      num_paths: int = 4, path_len: int = 9):
+    """The standard Table 1 workload: a sparse random graph plus disjoint long
+    paths (the paths force augmenting paths of length up to ``path_len``, the
+    regime where boosting beyond a maximal matching actually matters)."""
+    from repro.graph.generators import disjoint_paths, erdos_renyi
+    from repro.graph.graph import Graph
+
+    er = erdos_renyi(er_n, er_p, seed=seed)
+    paths = disjoint_paths(num_paths, path_len)
+    g = Graph(er.n + paths.n)
+    for u, v in er.edges():
+        g.add_edge(u, v)
+    for u, v in paths.edges():
+        g.add_edge(er.n + u, er.n + v)
+    return g
+
+
+def emit(table: Table, filename: str) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = table.render()
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return text

@@ -1,0 +1,88 @@
+"""Figure 1 / Lemma 4.5: structure anatomy during a phase.
+
+Figure 1 of the paper illustrates a structure S_alpha: an alternating tree of
+contracted blossoms with a working vertex and an active path.  There is no
+measured data behind the figure, so this benchmark reports the corresponding
+*statistics* of the reproduction: over one phase on a blossom-rich workload,
+the number of structures, their maximum size (which Lemma 4.5 bounds by
+Delta_h = 36 h / eps), the number of non-trivial blossom nodes, and the active
+path lengths -- i.e. everything the figure depicts, measured.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.generators import blossom_gadget, erdos_renyi
+from repro.graph.graph import Graph
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.reporting import Table
+from repro.matching.greedy import greedy_maximal_matching
+from repro.core.config import ParameterProfile
+from repro.core.phase import DirectDriver, backtrack_pass, contract_pass, run_phase
+from repro.core.structures import PhaseState
+
+from _common import emit
+
+
+def _workload(seed: int = 0) -> Graph:
+    er = erdos_renyi(60, 0.06, seed=seed)
+    gadgets = blossom_gadget(6, 4)
+    g = Graph(er.n + gadgets.n)
+    for u, v in er.edges():
+        g.add_edge(u, v)
+    for u, v in gadgets.edges():
+        g.add_edge(er.n + u, er.n + v)
+    return g
+
+
+def structure_statistics(eps: float, seed: int = 0):
+    g = _workload(seed)
+    matching = greedy_maximal_matching(g)
+    profile = ParameterProfile.practical(eps)
+    h = 0.5
+    state = PhaseState(g, matching, profile.ell_max)
+    state.init_structures()
+    driver = DirectDriver(random.Random(seed))
+    limit = profile.structure_limit(h)
+
+    # run a few pass-bundles manually so intermediate statistics can be read
+    stats = []
+    for bundle in range(6):
+        for s in state.live_structures():
+            s.reset_marks(limit)
+        driver.extend_active_path(state)
+        driver.contract_and_augment(state)
+        backtrack_pass(state)
+        structures = state.live_structures()
+        sizes = [s.size for s in structures] or [0]
+        blossoms = sum(1 for s in structures for node in s.nodes
+                       if node.outer and not node.is_trivial)
+        active_paths = [len(s.active_path()) for s in structures if s.active] or [0]
+        stats.append((bundle + 1, len(structures), max(sizes), blossoms,
+                      max(active_paths), profile.structure_size_bound(h)))
+        state.check_invariants()
+    return stats
+
+
+def run_fig1(eps: float = 0.25) -> Table:
+    table = Table(
+        "Figure 1 statistics: structures across pass-bundles (eps=%.3g)" % eps,
+        ["pass-bundle", "#structures", "max |S_alpha|", "#non-trivial blossoms",
+         "max active-path length", "Lemma 4.5 bound Delta_h"])
+    for row in structure_statistics(eps):
+        table.add_row(*row)
+    return table
+
+
+def test_fig1_structures(benchmark):
+    """Measure structure anatomy and time one full phase on the workload."""
+    g = _workload(0)
+    matching = greedy_maximal_matching(g)
+    profile = ParameterProfile.practical(0.25)
+
+    benchmark(lambda: run_phase(g, matching, profile, 0.5,
+                                DirectDriver(random.Random(0))))
+    emit(run_fig1(), "fig1_structures.txt")

@@ -1,0 +1,66 @@
+"""Theorem 1.1 / 6.2 end-to-end: approximation quality versus eps.
+
+The theorems promise a (1+eps)-approximate matching.  This benchmark sweeps
+eps and reports, for every framework in the library (semi-streaming, static
+boosting with a greedy oracle, weak-oracle boosting, the FMU22-style schedule
+and the McGregor-style baseline), the worst measured approximation factor over
+the workload suite -- all of which should sit below the corresponding 1+eps
+line (the capped McGregor baseline is allowed to miss it; that is the point of
+the comparison).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import blossom_gadget, disjoint_paths, erdos_renyi, planted_matching
+from repro.instrumentation.reporting import Table
+from repro.matching.blossom import maximum_matching_size
+from repro.core.streaming import semi_streaming_matching
+from repro.core.boosting import boost_matching
+from repro.core.dynamic_boosting import boost_matching_weak
+from repro.dynamic.weak_oracles import GreedyInducedWeakOracle
+from repro.baselines.fmu22 import fmu22_boost
+from repro.baselines.mcgregor import mcgregor_boost
+
+from _common import EPS_SWEEP, emit
+
+
+def _suite(seed: int = 0):
+    yield "er", erdos_renyi(60, 0.08, seed=seed)
+    yield "paths", disjoint_paths(5, 9)
+    yield "blossoms", blossom_gadget(5, 4)
+    g, _ = planted_matching(30, 0.02, seed=seed)
+    yield "planted", g
+
+
+def run_quality() -> Table:
+    table = Table(
+        "Approximation factor (mu / |M|, worst over the workload suite) vs eps",
+        ["eps", "target 1+eps", "streaming [MMSS25]", "boosting (Thm 1.1)",
+         "weak-oracle (Thm 6.2)", "FMU22-style", "McGregor-style (capped)"])
+    for eps in EPS_SWEEP:
+        worst = {"stream": 1.0, "boost": 1.0, "weak": 1.0, "fmu": 1.0, "mcg": 1.0}
+        for name, g in _suite():
+            opt = maximum_matching_size(g)
+            if opt == 0:
+                continue
+            runs = {
+                "stream": semi_streaming_matching(g, eps, seed=1),
+                "boost": boost_matching(g, eps, seed=1),
+                "weak": boost_matching_weak(g, eps, GreedyInducedWeakOracle(g, seed=1), seed=1),
+                "fmu": fmu22_boost(g, eps, seed=1),
+                "mcg": mcgregor_boost(g, eps, seed=1),
+            }
+            for key, matching in runs.items():
+                worst[key] = max(worst[key], opt / max(1, matching.size))
+        table.add_row(eps, 1 + eps, worst["stream"], worst["boost"],
+                      worst["weak"], worst["fmu"], worst["mcg"])
+    return table
+
+
+def test_quality_vs_eps(benchmark):
+    """Regenerate the quality-vs-eps series; time one boosted run at eps=1/8."""
+    g = disjoint_paths(5, 9)
+    benchmark(lambda: boost_matching(g, 0.125, seed=1))
+    emit(run_quality(), "quality_vs_eps.txt")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` works in offline environments without the ``wheel``
+package (legacy editable installs need a ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro: reproduction of "A framework for boosting matching approximation:
+parallel, distributed, and dynamic" (Mitrović & Sheu, SPAA 2025).
+
+Top-level convenience re-exports; see the sub-packages for the full API:
+
+* :mod:`repro.graph` -- graph containers and workload generators,
+* :mod:`repro.matching` -- greedy/exact matching substrates and verification,
+* :mod:`repro.core` -- the paper's structures, semi-streaming algorithm and
+  the static (Section 5) and weak-oracle (Section 6) boosting frameworks,
+* :mod:`repro.mpc`, :mod:`repro.congest` -- model substrates and the
+  Corollary A.1/A.2 instantiations,
+* :mod:`repro.dynamic` -- the Section 7 fully dynamic / offline algorithms,
+* :mod:`repro.baselines` -- prior-work boosting frameworks used as comparators,
+* :mod:`repro.instrumentation` -- counters and benchmark reporting.
+"""
+
+from repro.graph import Graph, DynamicGraph
+from repro.matching import Matching, maximum_matching, greedy_maximal_matching
+from repro.core import (
+    ParameterProfile,
+    semi_streaming_matching,
+    boost_matching,
+    boost_matching_weak,
+    BoostingFramework,
+    WeakOracleBoostingFramework,
+)
+from repro.instrumentation import Counters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "DynamicGraph",
+    "Matching",
+    "maximum_matching",
+    "greedy_maximal_matching",
+    "ParameterProfile",
+    "semi_streaming_matching",
+    "boost_matching",
+    "boost_matching_weak",
+    "BoostingFramework",
+    "WeakOracleBoostingFramework",
+    "Counters",
+    "__version__",
+]

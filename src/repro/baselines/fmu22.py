@@ -1,0 +1,156 @@
+"""An [FMU22]-style simulation schedule, the Table 1 comparator.
+
+[FMU22] introduced the framework this paper refines.  The two refinements that
+produce the Table 1 improvement are:
+
+1. the observation that the maximum matching size of the derived graphs decays
+   *exponentially* across iterations, so O(log 1/eps) oracle iterations per
+   procedure suffice where [FMU22] budgeted poly(1/eps); and
+2. partitioning the Overtake arcs into ``l_max ~ 1/eps`` label classes
+   (stages), each of which enjoys the exponential decay, where [FMU22]
+   simulated all of them together with a poly(1/eps) budget.
+
+:class:`FMU22Driver` therefore re-uses the exact same structure machinery but
+(1) runs poly(1/eps) oracle iterations per procedure and (2) builds a single
+derived graph over *all* type-3 arcs instead of per-stage graphs.  This keeps
+the comparison apples-to-apples: the only difference between the two data
+points in the Table 1 benchmark is the schedule the paper improves.
+
+The literal [FMU22] call count (``O(1/eps^52)`` in MPC) is exposed through
+:func:`fmu22_scheduled_calls` for the accounting columns.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.matching.matching import Matching
+from repro.instrumentation.counters import Counters
+from repro.core.config import ParameterProfile
+from repro.core.boosting import BoostingFramework, OracleDriver, build_structure_graph
+from repro.core.oracles import GreedyMatchingOracle, MatchingOracle
+from repro.core.operations import apply_augmentations, augment_op, overtake_op
+from repro.core.phase import contract_pass, run_phase
+from repro.core.structures import PhaseState, StructNode
+
+Edge = Tuple[int, int]
+
+
+def fmu22_scheduled_calls(eps: float, setting: str = "mpc") -> float:
+    """The oracle-call schedules quoted in Table 1 for the prior frameworks."""
+    if setting == "mpc":
+        return (1.0 / eps) ** 52
+    if setting == "congest":
+        return (1.0 / eps) ** 63
+    if setting == "mpc+mmss25":
+        return (1.0 / eps) ** 39
+    if setting == "congest+mmss25":
+        return (1.0 / eps) ** 42
+    raise ValueError(f"unknown setting {setting!r}")
+
+
+def _build_all_type3_graph(state: PhaseState) -> Tuple[Graph, Dict[Edge, Edge], int]:
+    """One bipartite derived graph over *all* type-3 arcs (no stage split)."""
+    left_nodes: List[StructNode] = []
+    for structure in state.live_structures():
+        w = structure.working
+        if w is None or structure.on_hold or structure.extended:
+            continue
+        left_nodes.append(w)
+    right_vertices = [v for v in range(state.graph.n)
+                      if not state.removed[v]
+                      and state.matching.is_matched(v)
+                      and (state.node_of[v] is None or not state.node_of[v].outer)]
+    left_index = {id(node): i for i, node in enumerate(left_nodes)}
+    right_index = {v: len(left_nodes) + i for i, v in enumerate(right_vertices)}
+    derived = Graph(len(left_nodes) + len(right_vertices))
+    witness: Dict[Edge, Edge] = {}
+    right_set = set(right_vertices)
+    for node in left_nodes:
+        i = left_index[id(node)]
+        for x in node.vertices:
+            for y in state.graph.neighbors(x):
+                if y in right_set and state.arc_type(x, y) == 3:
+                    key = (i, right_index[y])
+                    if derived.add_edge(*key):
+                        witness[key] = (x, y)
+    return derived, witness, len(left_nodes)
+
+
+class FMU22Driver(OracleDriver):
+    """The unrefined simulation schedule: poly(1/eps) iterations, no stages."""
+
+    def __init__(self, oracle: MatchingOracle, profile: ParameterProfile,
+                 rng: Optional[random.Random] = None,
+                 iteration_exponent: float = 2.0) -> None:
+        super().__init__(oracle, profile, rng=rng)
+        # poly(1/eps) iterations per procedure (capped for execution; the
+        # uncapped formula is what fmu22_scheduled_calls reports)
+        self.poly_iterations = max(
+            2, min(512, int(math.ceil((1.0 / profile.eps) ** iteration_exponent))))
+
+    def extend_active_path(self, state: PhaseState) -> None:
+        for _it in range(self.poly_iterations):
+            derived, witness, num_left = _build_all_type3_graph(state)
+            if derived.m == 0:
+                break
+            state.counters.add("iterations")
+            matched = self.oracle.find_matching(derived)
+            performed = 0
+            for a, b in matched:
+                key = (a, b) if a < num_left else (b, a)
+                if key not in witness:
+                    continue
+                x, y = witness[key]
+                nu = state.omega(x)
+                if state.arc_type(x, y) == 3 and nu is not None:
+                    overtake_op(state, x, y, state.distance(nu) + 1)
+                    performed += 1
+            if performed == 0:
+                break
+
+    def contract_and_augment(self, state: PhaseState) -> None:
+        contract_pass(state)
+        for _it in range(self.poly_iterations):
+            hprime, witness = build_structure_graph(state)
+            if hprime.m == 0:
+                break
+            state.counters.add("iterations")
+            matched = self.oracle.find_matching(hprime)
+            performed = 0
+            for a, b in matched:
+                key = (a, b) if a < b else (b, a)
+                if key not in witness:
+                    continue
+                u, v = witness[key]
+                if state.arc_type(u, v) == 2:
+                    augment_op(state, u, v)
+                    performed += 1
+            if performed == 0:
+                break
+        contract_pass(state)
+
+
+def fmu22_boost(graph: Graph, eps: float,
+                oracle: Optional[MatchingOracle] = None,
+                profile: Optional[ParameterProfile] = None,
+                counters: Optional[Counters] = None,
+                seed: Optional[int] = None) -> Matching:
+    """Run the [FMU22]-style schedule end to end (same outer loop, old driver)."""
+    framework = BoostingFramework(eps, oracle=oracle, profile=profile,
+                                  counters=counters, seed=seed)
+    matching = framework.initial_matching(graph)
+    driver = FMU22Driver(framework.oracle, framework.profile, rng=framework.rng)
+    for h in framework.profile.scales:
+        for _t in range(framework.profile.phases(h)):
+            framework.counters.add("phases")
+            records = run_phase(graph, matching, framework.profile, h, driver,
+                                counters=framework.counters)
+            gained = apply_augmentations(matching, records)
+            framework.counters.add("matching_gain", gained)
+            if framework.profile.early_exit and gained == 0:
+                break
+    return matching

@@ -1,0 +1,13 @@
+"""CONGEST substrate: per-edge message simulator, a distributed Theta(1)-approx
+matching algorithm, and the Corollary A.2 instantiation of the framework."""
+
+from repro.congest.simulator import CongestSimulator
+from repro.congest.matching_congest import congest_approx_matching, CongestMatchingOracle
+from repro.congest.boost_congest import congest_boosted_matching
+
+__all__ = [
+    "CongestSimulator",
+    "congest_approx_matching",
+    "CongestMatchingOracle",
+    "congest_boosted_matching",
+]

@@ -1,0 +1,121 @@
+"""A distributed Theta(1)-approximate matching algorithm in CONGEST.
+
+Israeli–Itai-style randomized maximal matching: in each iteration every
+unmatched vertex picks a random unmatched neighbour and proposes to it
+(1 round); a vertex receiving proposals accepts exactly one, and a proposal is
+realised as a matched edge if it is accepted (1 round back).  Matched vertices
+announce their status to their neighbours (1 round).  A constant fraction of
+the remaining edges disappears per iteration in expectation, so O(log n)
+iterations suffice w.h.p.; the result is a maximal, hence 2-approximate,
+matching.
+
+In the boosting framework the oracle is invoked on *derived* graphs (``H'``,
+``H'_s``).  Conceptually these are virtual graphs simulated on top of the real
+network; the reproduction runs the CONGEST algorithm directly on the derived
+graph's topology and charges its rounds, which is exactly the per-invocation
+cost ``T_matching`` of Corollary A.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.instrumentation.counters import Counters
+from repro.core.oracles import MatchingOracle
+from repro.congest.simulator import CongestSimulator
+
+Edge = Tuple[int, int]
+
+
+def congest_approx_matching(graph: Graph, simulator: CongestSimulator,
+                            seed: Optional[int] = None,
+                            max_iterations: Optional[int] = None) -> List[Edge]:
+    """Randomized maximal matching on ``simulator`` (which wraps ``graph``)."""
+    rng = random.Random(seed)
+    n = graph.n
+    iterations = max_iterations if max_iterations is not None else 4 * max(1, n).bit_length() + 8
+
+    matched: Dict[int, Optional[int]] = {v: None for v in range(n)}
+    for st in simulator.state:
+        st.clear()
+
+    for _it in range(iterations):
+        # round 1: propose to a random unmatched neighbour
+        def propose(v: int, state: dict, inbox: dict):
+            if matched[v] is not None:
+                return {}
+            candidates = [w for w in graph.neighbors(v) if matched[w] is None]
+            if not candidates:
+                return {}
+            target = rng.choice(candidates)
+            state["proposed_to"] = target
+            return {target: ("propose",)}
+
+        simulator.round(propose)
+
+        # round 2: accept one proposal and notify the proposer
+        def accept(v: int, state: dict, inbox: dict):
+            if matched[v] is not None:
+                return {}
+            proposers = [sender for sender, msg in inbox.items()
+                         if isinstance(msg, tuple) and msg and msg[0] == "propose"]
+            if not proposers:
+                return {}
+            chosen = min(proposers)
+            state["accepted"] = chosen
+            return {chosen: ("accept",)}
+
+        simulator.round(accept)
+
+        # resolve locally: an edge (u, v) is matched if v accepted u's proposal
+        newly_matched: List[Edge] = []
+        for v in range(n):
+            state = simulator.state[v]
+            accepted_from = state.pop("accepted", None)
+            if accepted_from is None:
+                state.pop("proposed_to", None)
+                continue
+            u = accepted_from
+            if matched[u] is None and matched[v] is None:
+                proposed = simulator.state[u].pop("proposed_to", None)
+                if proposed == v:
+                    matched[u] = v
+                    matched[v] = u
+                    newly_matched.append((u, v) if u < v else (v, u))
+            state.pop("proposed_to", None)
+
+        # round 3: matched vertices announce their status
+        def announce(v: int, state: dict, inbox: dict):
+            if matched[v] is None:
+                return {}
+            return {w: ("matched",) for w in graph.neighbors(v)}
+
+        simulator.round(announce)
+
+        remaining = any(matched[u] is None and matched[v] is None
+                        for u, v in graph.edges())
+        if not remaining:
+            break
+
+    return [(u, v) for u, v in
+            ((u, matched[u]) for u in range(n) if matched[u] is not None)
+            if v is not None and u < v]
+
+
+class CongestMatchingOracle(MatchingOracle):
+    """``Amatching`` backed by the simulated CONGEST matching algorithm."""
+
+    c = 2.0
+    name = "congest-israeli-itai"
+
+    def __init__(self, counters: Optional[Counters] = None,
+                 seed: Optional[int] = None) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self._rng = random.Random(seed)
+
+    def find_matching(self, graph: Graph) -> List[Edge]:
+        simulator = CongestSimulator(graph, counters=self.counters, strict=True)
+        return congest_approx_matching(graph, simulator,
+                                       seed=self._rng.randrange(2 ** 31))

@@ -1,0 +1,97 @@
+"""A round-synchronous CONGEST simulator.
+
+CONGEST (Section 3.4): the communication network *is* the input graph; per
+round every vertex may send O(log n) bits along each incident edge.  As with
+the MPC simulator, what the reproduction needs is the *cost model*: round
+counts (and message volume) of the Theta(1)-approximate matching oracle and of
+the per-component aggregation ``Aprocess`` (Appendix A, Corollary A.2).
+
+Vertex algorithms are written as callables ``program(vertex, state, inbox) ->
+{neighbor: message}``; the simulator runs them a round at a time, enforcing
+the per-edge message-size limit (messages must be small tuples of ints).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.instrumentation.counters import Counters
+
+Inbox = Dict[int, object]          # sender -> message
+Outbox = Dict[int, object]         # receiver -> message
+VertexProgram = Callable[[int, dict, Inbox], Outbox]
+
+#: messages are limited to this many machine words (= O(log n) bits each)
+MAX_MESSAGE_WORDS = 4
+
+
+class MessageTooLarge(RuntimeError):
+    """Raised when a vertex tries to send more than O(log n) bits on an edge."""
+
+
+class CongestSimulator:
+    """Synchronous message passing on the edges of a fixed graph."""
+
+    def __init__(self, graph: Graph, counters: Optional[Counters] = None,
+                 strict: bool = True) -> None:
+        self.graph = graph
+        self.counters = counters if counters is not None else Counters()
+        self.strict = strict
+        #: per-vertex local state dictionaries, freely usable by programs
+        self.state: List[dict] = [dict() for _ in range(graph.n)]
+        self._inboxes: List[Inbox] = [dict() for _ in range(graph.n)]
+
+    # ----------------------------------------------------------------- rounds
+    def round(self, program: VertexProgram) -> None:
+        """Run one synchronous round of ``program`` on every vertex."""
+        outboxes: List[Outbox] = []
+        for v in range(self.graph.n):
+            out = program(v, self.state[v], self._inboxes[v]) or {}
+            for dest, message in out.items():
+                if not self.graph.has_edge(v, dest):
+                    raise ValueError(
+                        f"vertex {v} tried to message non-neighbor {dest}")
+                self._check_size(message)
+            outboxes.append(out)
+
+        new_inboxes: List[Inbox] = [dict() for _ in range(self.graph.n)]
+        total = 0
+        for v, out in enumerate(outboxes):
+            for dest, message in out.items():
+                new_inboxes[dest][v] = message
+                total += 1
+        self._inboxes = new_inboxes
+        self.counters.add("congest_rounds")
+        self.counters.add("congest_messages", total)
+
+    def run(self, program: VertexProgram, rounds: int) -> None:
+        for _ in range(rounds):
+            self.round(program)
+
+    # -------------------------------------------------------------- utilities
+    def charge_component_aggregation(self, component_size: int) -> None:
+        """Charge the Appendix A ``Aprocess`` cost for one component.
+
+        Collecting all information of a connected component of size ``k`` at a
+        representative vertex and broadcasting the answer back takes O(k)
+        CONGEST rounds (messages travel one hop per round along a spanning
+        tree); the framework guarantees ``k = poly(1/eps)``.
+        """
+        self.counters.add("congest_rounds", 2 * max(1, component_size))
+        self.counters.add("congest_aggregation_rounds", 2 * max(1, component_size))
+
+    def _check_size(self, message: object) -> None:
+        words = 1
+        if isinstance(message, (tuple, list)):
+            words = len(message)
+        if words > MAX_MESSAGE_WORDS:
+            self.counters.add("congest_message_violations")
+            if self.strict:
+                raise MessageTooLarge(
+                    f"message of {words} words exceeds the O(log n)-bit limit")
+
+    @property
+    def rounds(self) -> int:
+        return int(self.counters.get("congest_rounds"))

@@ -1,0 +1,243 @@
+"""``Alg-Phase``: pass-bundles, the two streaming passes, and backtracking.
+
+This module implements Algorithm 2 of the paper, parameterised by a *driver*
+object that supplies the two expensive procedures of each pass-bundle:
+
+* ``extend_active_path(state)``  -- Algorithm 3 in the streaming algorithm, or
+  its oracle-driven simulation (Algorithm 5 / Section 6.6);
+* ``contract_and_augment(state)`` -- Section 4.7 in the streaming algorithm, or
+  its simulation (Algorithm 4 / Section 6.5).
+
+The schedule around the driver (per-bundle initialisation of the on-hold /
+modified / extended marks, the backtracking of stuck structures, the recording
+and end-of-phase application of augmentations) is shared by every mode, which
+is exactly the point of the paper's framework: only the two procedures need a
+model-specific implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Protocol, Tuple
+
+from repro.graph.graph import Graph
+from repro.matching.matching import Matching
+from repro.instrumentation.counters import Counters
+from repro.core.config import ParameterProfile
+from repro.core.structures import AugmentationRecord, PhaseState, Structure
+from repro.core.operations import augment_op, contract_op, overtake_op
+
+Edge = Tuple[int, int]
+
+
+class PhaseDriver(Protocol):
+    """The two model-specific procedures of a pass-bundle."""
+
+    def extend_active_path(self, state: PhaseState) -> None:  # pragma: no cover
+        ...
+
+    def contract_and_augment(self, state: PhaseState) -> None:  # pragma: no cover
+        ...
+
+
+# ---------------------------------------------------------------------------
+# shared passes
+# ---------------------------------------------------------------------------
+
+def try_extend_arc(state: PhaseState, u: int, v: int) -> Optional[str]:
+    """Apply Algorithm 3's per-arc logic to the arc ``(u, v)``.
+
+    Returns the name of the operation performed (``"contract"``, ``"augment"``,
+    ``"overtake"``) or ``None`` if the arc was skipped.  A structure that is on
+    hold or already extended in this pass is never extended again (Section 4.6).
+    """
+    if state.removed[u] or state.removed[v]:
+        return None
+    nu = state.omega(u)
+    nv = state.omega(v)
+    if nu is None or nv is nu:
+        return None
+    structure = nu.structure
+    if structure.working is not nu:
+        return None
+    if state.matching.contains_edge(u, v):
+        return None
+    if structure.on_hold or structure.extended:
+        return None
+
+    if nv is not None and nv.outer:
+        if nv.structure is structure:
+            contract_op(state, u, v)
+            return "contract"
+        augment_op(state, u, v)
+        return "augment"
+
+    # Omega(v) is inner or unvisited: candidate Overtake (case 3 of Section 4.6)
+    if state.matching.is_free(v):
+        return None
+    if nv is not None and nv.structure is structure and nv.is_ancestor_of(nu):
+        return None
+    k = state.distance(nu) + 1
+    mate = state.matching.mate(v)
+    assert mate is not None
+    if k < state.label_of_edge(v, mate):
+        overtake_op(state, u, v, k)
+        return "overtake"
+    return None
+
+
+def contract_pass(state: PhaseState) -> int:
+    """Step 1 of Contract-and-Augment: exhaust type-1 arcs (Section 4.7).
+
+    For every structure, repeatedly contract blossoms containing the working
+    vertex until no edge connects the working node to another outer node of
+    the same structure.  Contraction is local to a structure, so one sweep over
+    the structures suffices.  Returns the number of contractions performed.
+    """
+    total = 0
+    for structure in state.live_structures():
+        while structure.working is not None:
+            w = structure.working
+            found: Optional[Edge] = None
+            for x in w.vertices:
+                if found:
+                    break
+                for y in state.graph.neighbors(x):
+                    if state.removed[y]:
+                        continue
+                    ny = state.node_of[y]
+                    if (ny is not None and ny is not w and ny.outer
+                            and ny.structure is structure
+                            and not state.matching.contains_edge(x, y)):
+                        found = (x, y)
+                        break
+            if found is None:
+                break
+            contract_op(state, *found)
+            total += 1
+    return total
+
+
+def augment_pass(state: PhaseState) -> int:
+    """Step 2 of Contract-and-Augment, exact version: exhaust type-2 arcs.
+
+    A single sweep suffices because augmenting only removes structures and can
+    never create a new outer-outer arc between surviving structures.
+    Returns the number of augmentations performed.
+    """
+    total = 0
+    for u, v in state.graph.edges():
+        if state.removed[u] or state.removed[v]:
+            continue
+        nu, nv = state.node_of[u], state.node_of[v]
+        if nu is None or nv is None or not (nu.outer and nv.outer):
+            continue
+        if nu.structure is nv.structure:
+            continue
+        if state.matching.contains_edge(u, v):
+            continue
+        augment_op(state, u, v)
+        total += 1
+    return total
+
+
+def backtrack_pass(state: PhaseState) -> int:
+    """``Backtrack-Stuck-Structures`` (Section 4.8).
+
+    Every structure that is active, not on hold and not modified in this
+    pass-bundle retreats its working vertex by one matched step (to the parent
+    of its parent) or becomes inactive if the working vertex is the root.
+    Returns the number of backtracks performed.
+    """
+    total = 0
+    for structure in state.live_structures():
+        if structure.on_hold or structure.modified:
+            continue
+        w = structure.working
+        if w is None:
+            continue
+        if w.is_root:
+            structure.working = None
+        else:
+            parent = w.parent
+            assert parent is not None
+            structure.working = parent.parent
+        state.counters.add("backtracks")
+        total += 1
+    return total
+
+
+# ---------------------------------------------------------------------------
+# the streaming (exact) driver
+# ---------------------------------------------------------------------------
+
+class DirectDriver:
+    """The semi-streaming driver: both procedures scan the edge stream directly.
+
+    ``shuffle`` controls whether the stream order is re-randomised for every
+    pass (the model allows an arbitrary order per pass; randomising avoids
+    adversarial orderings on the synthetic workloads).
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None, shuffle: bool = True) -> None:
+        self.rng = rng if rng is not None else random.Random(0)
+        self.shuffle = shuffle
+
+    def _arc_stream(self, state: PhaseState) -> List[Edge]:
+        arcs = list(state.graph.arcs())
+        if self.shuffle:
+            self.rng.shuffle(arcs)
+        return arcs
+
+    def extend_active_path(self, state: PhaseState) -> None:
+        state.counters.add("passes")
+        for u, v in self._arc_stream(state):
+            try_extend_arc(state, u, v)
+
+    def contract_and_augment(self, state: PhaseState) -> None:
+        state.counters.add("passes")
+        contract_pass(state)
+        augment_pass(state)
+
+
+# ---------------------------------------------------------------------------
+# running a phase
+# ---------------------------------------------------------------------------
+
+def run_phase(graph: Graph, matching: Matching, profile: ParameterProfile,
+              h: float, driver: PhaseDriver,
+              counters: Optional[Counters] = None,
+              check_invariants: bool = False) -> List[AugmentationRecord]:
+    """Execute one phase (Algorithm 2) and return the recorded augmentations.
+
+    The matching is *not* modified; apply the returned records with
+    :func:`repro.core.operations.apply_augmentations` (Algorithm 1, line 6).
+    """
+    counters = counters if counters is not None else Counters()
+    state = PhaseState(graph, matching, profile.ell_max, counters)
+    state.init_structures()
+    limit = profile.structure_limit(h)
+    tau_max = profile.pass_bundles(h)
+
+    for _tau in range(tau_max):
+        counters.add("pass_bundles")
+        for structure in state.live_structures():
+            structure.reset_marks(limit)
+        before = counters.snapshot()
+
+        driver.extend_active_path(state)
+        driver.contract_and_augment(state)
+        backtrack_pass(state)
+
+        if check_invariants:
+            state.check_invariants()
+
+        if profile.early_exit:
+            diff = counters.diff(before)
+            progress = sum(diff.get(key, 0) for key in
+                           ("augmentations", "contractions", "overtakes"))
+            any_active = any(s.active for s in state.live_structures())
+            if progress == 0 and not any_active:
+                break
+
+    return state.records

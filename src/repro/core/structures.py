@@ -1,0 +1,320 @@
+"""Free-vertex structures, blossom nodes, labels and the per-phase state.
+
+This module implements the data model of Section 4.1:
+
+* a :class:`StructNode` is a vertex of the contracted graph ``G' = G/Omega``
+  that belongs to some structure -- either a trivial blossom (a single
+  G-vertex) or a contracted non-trivial blossom (an odd set of G-vertices with
+  a base);
+* a :class:`Structure` ``S_alpha`` is an alternating tree of struct-nodes
+  rooted at the free vertex ``alpha``, with a working vertex ``w'_alpha`` and
+  the on-hold / modified / extended marks of Section 4.4;
+* a :class:`PhaseState` holds the global per-phase state: which structure (if
+  any) each G-vertex belongs to, which vertices were (hypothetically) removed
+  by ``Augment``, the labels of matched edges (Definition 4.4), and the
+  augmentations recorded so far.
+
+Deviations from the paper (documented in DESIGN.md):
+
+* labels are kept per matched *edge* rather than per directed arc -- a
+  conservative simplification (it can only forbid overtakes the paper would
+  allow, never enable an illegal one);
+* a recorded augmentation stores the local re-matching of the two structures'
+  vertex sets rather than an explicit alternating path; the re-matching is
+  produced by an exact Edmonds search on that (small) vertex set, so every
+  recorded augmentation increases the matching size by exactly one when it is
+  applied at the end of the phase.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph, normalize_edge
+from repro.matching.matching import Matching
+from repro.instrumentation.counters import Counters
+
+Edge = Tuple[int, int]
+
+_node_ids = itertools.count()
+
+
+class StructNode:
+    """A vertex of the contracted graph ``G'`` inside some structure.
+
+    A trivial node holds a single G-vertex; a blossom node holds an odd number
+    of G-vertices and remembers its *base* (the unique vertex left unmatched by
+    the matching restricted to the blossom, Section 3.2).
+    Inner nodes are always trivial (Definition 3.8, condition C2).
+    """
+
+    __slots__ = ("id", "vertices", "base", "outer", "parent", "children", "structure")
+
+    def __init__(self, vertices: Sequence[int], base: int, outer: bool,
+                 structure: "Structure") -> None:
+        self.id = next(_node_ids)
+        self.vertices: List[int] = list(vertices)
+        self.base = base
+        self.outer = outer
+        self.parent: Optional["StructNode"] = None
+        self.children: List["StructNode"] = []
+        self.structure = structure
+
+    @property
+    def is_trivial(self) -> bool:
+        return len(self.vertices) == 1
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def ancestors(self) -> Iterable["StructNode"]:
+        """This node and all its ancestors up to the root."""
+        node: Optional[StructNode] = self
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def subtree(self) -> List["StructNode"]:
+        """This node and all its descendants (iterative DFS)."""
+        out = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+        return out
+
+    def is_ancestor_of(self, other: "StructNode") -> bool:
+        return any(anc is self for anc in other.ancestors())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "outer" if self.outer else "inner"
+        return f"StructNode(id={self.id}, {kind}, base={self.base}, |B|={len(self.vertices)})"
+
+
+class Structure:
+    """The structure ``S_alpha`` of a free vertex ``alpha`` (Definition 4.1)."""
+
+    __slots__ = ("alpha", "root", "working", "nodes", "g_vertices",
+                 "on_hold", "modified", "extended")
+
+    def __init__(self, alpha: int) -> None:
+        self.alpha = alpha
+        self.root = StructNode([alpha], alpha, outer=True, structure=self)
+        self.working: Optional[StructNode] = self.root
+        self.nodes: Set[StructNode] = {self.root}
+        self.g_vertices: Set[int] = {alpha}
+        self.on_hold = False
+        self.modified = False
+        self.extended = False
+
+    @property
+    def size(self) -> int:
+        """Number of G-vertices in the structure (|S_alpha| of Section 5.1)."""
+        return len(self.g_vertices)
+
+    @property
+    def active(self) -> bool:
+        """Whether the structure has a working vertex (Definition 4.3)."""
+        return self.working is not None
+
+    def active_path(self) -> List[StructNode]:
+        """Nodes on the active path, root first (Definition 4.2); [] if inactive."""
+        if self.working is None:
+            return []
+        path = list(self.working.ancestors())
+        path.reverse()
+        return path
+
+    def outer_vertices(self) -> List[int]:
+        """All G-vertices lying in outer nodes of the structure."""
+        out: List[int] = []
+        for node in self.nodes:
+            if node.outer:
+                out.extend(node.vertices)
+        return out
+
+    def reset_marks(self, limit: int) -> None:
+        """Per-pass-bundle initialisation (Algorithm 2, lines 6-9)."""
+        self.on_hold = self.size >= limit
+        self.modified = False
+        self.extended = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Structure(alpha={self.alpha}, size={self.size}, "
+                f"active={self.active}, on_hold={self.on_hold})")
+
+
+@dataclass
+class AugmentationRecord:
+    """One recorded augmentation: the vertex set and its new local matching."""
+
+    vertices: List[int]
+    new_edges: List[Edge]
+
+
+class PhaseState:
+    """Global state of one phase (Algorithm 2) over a graph and matching."""
+
+    def __init__(self, graph: Graph, matching: Matching, ell_max: int,
+                 counters: Optional[Counters] = None) -> None:
+        self.graph = graph
+        self.matching = matching
+        self.ell_max = ell_max
+        self.label_default = ell_max + 1
+        self.counters = counters if counters is not None else Counters()
+
+        n = graph.n
+        self.node_of: List[Optional[StructNode]] = [None] * n
+        self.removed: List[bool] = [False] * n
+        # Labels of matched edges (Definition 4.4), keyed by canonical edge.
+        self.edge_label: Dict[Edge, int] = {}
+        self.structures: Dict[int, Structure] = {}
+        self.records: List[AugmentationRecord] = []
+
+    # ----------------------------------------------------------- construction
+    def init_structures(self) -> None:
+        """Create the single-vertex structure of every free vertex (Alg. 2, l.3)."""
+        for alpha in self.matching.free_vertices():
+            structure = Structure(alpha)
+            self.structures[alpha] = structure
+            self.node_of[alpha] = structure.root
+
+    # ------------------------------------------------------------------ views
+    def omega(self, v: int) -> Optional[StructNode]:
+        """``Omega(v)``: the struct-node containing ``v`` (None if unvisited)."""
+        return self.node_of[v]
+
+    def structure_of(self, v: int) -> Optional[Structure]:
+        node = self.node_of[v]
+        return node.structure if node is not None else None
+
+    def is_unvisited(self, v: int) -> bool:
+        return self.node_of[v] is None
+
+    def is_outer(self, v: int) -> bool:
+        node = self.node_of[v]
+        return node is not None and node.outer
+
+    def is_inner(self, v: int) -> bool:
+        node = self.node_of[v]
+        return node is not None and not node.outer
+
+    def live_structures(self) -> List[Structure]:
+        return list(self.structures.values())
+
+    # ----------------------------------------------------------------- labels
+    def label_of_edge(self, u: int, v: int) -> int:
+        """Label of the matched edge {u, v} (default ``l_max + 1``)."""
+        return self.edge_label.get(normalize_edge(u, v), self.label_default)
+
+    def set_label(self, u: int, v: int, value: int) -> None:
+        self.edge_label[normalize_edge(u, v)] = value
+
+    def label_of_vertex(self, v: int) -> int:
+        """``l(v)`` of Section 5.1: 0 for free vertices, else its matched-edge label."""
+        mate = self.matching.mate(v)
+        if mate is None:
+            return 0
+        return self.label_of_edge(v, mate)
+
+    def distance(self, node: StructNode) -> int:
+        """``distance(u)`` of Section 4.6: 0 at the root, else the label of the
+        matched edge connecting the node's base to its (inner) parent."""
+        if node.is_root:
+            return 0
+        parent = node.parent
+        assert parent is not None and not parent.outer and parent.is_trivial
+        return self.label_of_edge(parent.vertices[0], node.base)
+
+    # ------------------------------------------------------------ type tests
+    def arc_type(self, u: int, v: int) -> int:
+        """Classify the G-arc ``(u, v)`` per Definition 5.2.
+
+        Returns 1, 2 or 3 for the three useful types and 0 otherwise.  The arc
+        is interpreted with ``u`` as the tail:
+
+        * type 1 -- both endpoints outer in the same structure and one of them
+          is the working vertex (a ``Contract`` opportunity);
+        * type 2 -- outer endpoints in two different structures (an ``Augment``
+          opportunity; no working-vertex requirement);
+        * type 3 -- ``Omega(u)`` is the working vertex of a structure that is
+          not on hold, ``Omega(v)`` is inner or unvisited and matched, and its
+          label exceeds ``distance(u) + 1`` (an ``Overtake`` opportunity).
+        """
+        if self.removed[u] or self.removed[v]:
+            return 0
+        if self.matching.contains_edge(u, v):
+            return 0
+        nu, nv = self.node_of[u], self.node_of[v]
+        if nu is None or not nu.outer:
+            return 0
+        su = nu.structure
+        if nv is not None and nv is nu:
+            return 0
+        if nv is not None and nv.outer:
+            if nv.structure is su:
+                return 1 if (su.working is nu or su.working is nv) else 0
+            return 2
+        # nv is inner or unvisited: candidate type 3
+        if su.working is not nu:
+            return 0
+        if self.matching.is_free(v):
+            return 0
+        if su.on_hold:
+            return 0
+        if nv is not None and nv.structure is su and nv.is_ancestor_of(nu):
+            # precondition (P2) of Overtake: never overtake an ancestor
+            return 0
+        if self.label_of_vertex(v) > self.distance(nu) + 1:
+            return 3
+        return 0
+
+    # ------------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Debug validator: raises ``AssertionError`` on inconsistent state.
+
+        Checks vertex-disjointness of structures, the alternating-tree shape
+        (root outer and free; parent/child alternation; inner nodes trivial
+        and matched into their unique child), and node_of consistency.
+        """
+        seen: Set[int] = set()
+        for structure in self.structures.values():
+            assert structure.root.outer and structure.root.parent is None
+            assert self.matching.is_free(structure.alpha)
+            assert structure.alpha in structure.root.vertices
+            for node in structure.nodes:
+                assert node.structure is structure
+                for x in node.vertices:
+                    assert not self.removed[x], f"removed vertex {x} still in a structure"
+                    assert self.node_of[x] is node, f"node_of[{x}] inconsistent"
+                    assert x not in seen, f"vertex {x} in two structures"
+                    seen.add(x)
+                if node.parent is not None:
+                    assert node.parent in structure.nodes
+                    assert node in node.parent.children
+                    assert node.outer != node.parent.outer, "tree must alternate outer/inner"
+                if not node.outer:
+                    assert node.is_trivial, "inner nodes must be trivial blossoms"
+                    v = node.vertices[0]
+                    mate = self.matching.mate(v)
+                    assert mate is not None, "inner vertices are matched"
+                    assert len(node.children) == 1, "inner node has exactly one child"
+                    assert mate in node.children[0].vertices
+                    assert node.children[0].base == mate
+                else:
+                    assert len(node.vertices) % 2 == 1, "blossoms have odd size"
+                for child in node.children:
+                    assert child.parent is node
+            if structure.working is not None:
+                assert structure.working in structure.nodes
+                assert structure.working.outer, "working vertex is an outer vertex"
+            assert structure.g_vertices == {x for node in structure.nodes
+                                            for x in node.vertices}
+        for v in range(self.graph.n):
+            node = self.node_of[v]
+            if node is not None:
+                assert v in node.vertices

@@ -1,0 +1,197 @@
+"""Online matrix--vector multiplication (OMv) substrate (Section 7.4).
+
+[Liu24] connects dynamic (1+eps)-approximate matching to the *dynamic
+approximate OMv* problem (Definitions 7.5/7.6): maintain a Boolean matrix
+``M`` under entry updates and answer queries ``v -> Mv`` (allowing
+``lambda * n`` Hamming error in the approximate variant).  The true
+``n / 2^Omega(sqrt(log n))`` OMv algorithm (Larsen-Williams style) is far
+outside the scope of a reproduction; per DESIGN.md substitution 4 we provide
+
+* :class:`OMvMatrix` -- an exact dynamic OMv data structure with word-level
+  parallelism (numpy packed-bit rows), i.e. an honest ~64x constant-factor
+  speed-up over the naive bit-by-bit product, with query/update counting;
+* :class:`ApproximateOMv` -- the (1 - lambda)-approximate wrapper of
+  Definition 7.6: it may leave up to ``lambda * n`` coordinates stale between
+  expensive refreshes, trading accuracy for cheaper amortized work exactly as
+  the reduction permits;
+* :func:`maximal_matching_via_omv` -- the Lemma 7.9-flavoured routine: find an
+  (almost) maximal matching of an induced bipartite subgraph using only OMv
+  queries and row probes.
+
+The Table 2 OMv benchmark reports the *counted* OMv queries/updates and the
+amortized work, which is where the paper's poly(1/eps)-vs-exponential
+improvement shows up; the absolute n-dependence of the substrate is documented
+as substituted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.instrumentation.counters import Counters
+
+Edge = Tuple[int, int]
+
+
+class OMvMatrix:
+    """Exact dynamic OMv over a Boolean matrix with packed-bit rows.
+
+    ``update(i, j, b)`` sets ``M[i, j] = b``; ``query(v)`` returns the Boolean
+    vector ``M v`` (over the OR/AND semiring).  Work is counted in
+    ``omv_updates`` / ``omv_queries`` / ``omv_query_word_ops``.
+    """
+
+    def __init__(self, n: int, counters: Optional[Counters] = None) -> None:
+        self.n = n
+        self.counters = counters if counters is not None else Counters()
+        self._packed = np.zeros((n, (n + 7) // 8), dtype=np.uint8)
+
+    # ----------------------------------------------------------------- update
+    def update(self, i: int, j: int, bit: bool) -> None:
+        byte, offset = divmod(j, 8)
+        mask = np.uint8(1 << offset)
+        if bit:
+            self._packed[i, byte] |= mask
+        else:
+            self._packed[i, byte] &= np.uint8(~mask & 0xFF)
+        self.counters.add("omv_updates")
+
+    def get(self, i: int, j: int) -> bool:
+        byte, offset = divmod(j, 8)
+        return bool(self._packed[i, byte] & (1 << offset))
+
+    # ------------------------------------------------------------------ query
+    def query(self, v: Sequence[bool]) -> np.ndarray:
+        """Return ``M v`` as a boolean numpy array of length ``n``."""
+        vec = np.asarray(v, dtype=bool)
+        if vec.shape != (self.n,):
+            raise ValueError(f"query vector must have length {self.n}")
+        packed_v = np.packbits(vec, bitorder="little")
+        # row i of the product is 1 iff the packed row AND packed_v is nonzero
+        hits = (self._packed & packed_v[None, :]).any(axis=1)
+        self.counters.add("omv_queries")
+        self.counters.add("omv_query_word_ops", self._packed.shape[1] * self.n)
+        return hits
+
+    def row_neighbors(self, i: int, restrict: Optional[Sequence[int]] = None) -> List[int]:
+        """Indices j with M[i, j] = 1 (optionally restricted); a row probe.
+
+        Counted separately (``omv_row_probes``) because Lemma 7.9 uses a small
+        number of these per extracted matching edge.
+        """
+        self.counters.add("omv_row_probes")
+        bits = np.unpackbits(self._packed[i], bitorder="little")[: self.n].astype(bool)
+        if restrict is not None:
+            mask = np.zeros(self.n, dtype=bool)
+            mask[list(restrict)] = True
+            bits &= mask
+        return list(np.nonzero(bits)[0])
+
+    @classmethod
+    def from_graph_bipartite_cover(cls, graph: Graph,
+                                   counters: Optional[Counters] = None) -> "OMvMatrix":
+        """Adjacency matrix of the bipartite double cover ``B`` of ``graph``.
+
+        Rows are outer copies (``v+``), columns inner copies (``w-``); the
+        entry is 1 iff ``{v, w}`` is an edge of ``G`` (Definition 6.3).
+        """
+        omv = cls(graph.n, counters=counters)
+        for u, w in graph.edges():
+            omv.update(u, w, True)
+            omv.update(w, u, True)
+        return omv
+
+
+class ApproximateOMv:
+    """(1 - lambda)-approximate dynamic OMv (Definition 7.6).
+
+    Updates are buffered; a query answers from the last materialised matrix
+    plus the buffered rows, and is allowed to be stale on at most
+    ``lambda * n`` coordinates, which lets it skip refreshing rows whose
+    buffered updates are few.  This mirrors the error budget the reduction of
+    Theorem 7.10 grants the OMv algorithm.
+    """
+
+    def __init__(self, n: int, lam: float,
+                 counters: Optional[Counters] = None) -> None:
+        if not 0 <= lam < 1:
+            raise ValueError("lambda must lie in [0, 1)")
+        self.n = n
+        self.lam = lam
+        self.counters = counters if counters is not None else Counters()
+        self._exact = OMvMatrix(n, counters=self.counters)
+        self._dirty_rows: Set[int] = set()
+        self._pending: Dict[Tuple[int, int], bool] = {}
+
+    def update(self, i: int, j: int, bit: bool) -> None:
+        self._pending[(i, j)] = bit
+        self._dirty_rows.add(i)
+        self.counters.add("omv_approx_updates")
+
+    def _flush_if_needed(self) -> None:
+        budget = int(self.lam * self.n)
+        if len(self._dirty_rows) > budget:
+            for (i, j), bit in self._pending.items():
+                self._exact.update(i, j, bit)
+            self._pending.clear()
+            self._dirty_rows.clear()
+            self.counters.add("omv_flushes")
+
+    def query(self, v: Sequence[bool]) -> np.ndarray:
+        """Return a vector within Hamming distance ``lambda * n`` of ``M v``."""
+        self._flush_if_needed()
+        self.counters.add("omv_approx_queries")
+        return self._exact.query(v)
+
+    def force_flush(self) -> None:
+        for (i, j), bit in self._pending.items():
+            self._exact.update(i, j, bit)
+        self._pending.clear()
+        self._dirty_rows.clear()
+
+    @property
+    def exact(self) -> OMvMatrix:
+        return self._exact
+
+
+def maximal_matching_via_omv(omv: OMvMatrix, left: Sequence[int],
+                             right: Sequence[int],
+                             counters: Optional[Counters] = None) -> List[Edge]:
+    """Find a maximal matching of the bipartite subgraph rows ``left`` x cols
+    ``right`` using OMv queries and row probes (Lemma 7.9 flavour).
+
+    The loop alternates a single OMv query (which left vertices still have an
+    unmatched right neighbour?) with one row probe per newly matched left
+    vertex, so the number of OMv queries is O(1) per round and the number of
+    row probes is at most the size of the matching found.
+    """
+    counters = counters if counters is not None else omv.counters
+    unmatched_right: Set[int] = set(right)
+    unmatched_left: List[int] = list(left)
+    matching: List[Edge] = []
+
+    while unmatched_left and unmatched_right:
+        indicator = np.zeros(omv.n, dtype=bool)
+        indicator[list(unmatched_right)] = True
+        product = omv.query(indicator)
+        progress = False
+        next_left: List[int] = []
+        for u in unmatched_left:
+            if not product[u]:
+                continue
+            neighbors = omv.row_neighbors(u, restrict=unmatched_right)
+            if not neighbors:
+                next_left.append(u)
+                continue
+            v = neighbors[0]
+            matching.append((u, v))
+            unmatched_right.discard(v)
+            progress = True
+        unmatched_left = [u for u in next_left if unmatched_right]
+        counters.add("omv_matching_rounds")
+        if not progress:
+            break
+    return matching

@@ -1,0 +1,106 @@
+"""Ordered Ruzsa--Szemerédi (ORS) graphs and the Theorem 7.4 trade-off.
+
+Definition 7.2: an (r, t)-ORS graph is a graph whose edge set can be ordered
+into ``t`` matchings of size ``r`` such that every matching is induced in the
+subgraph spanned by it and all later matchings; ``ORS(n, r)`` is the maximum
+achievable ``t``.  The true growth of ``ORS(n, Theta(n))`` is a central open
+problem; both [AKK25]'s and this paper's dynamic bounds are expressed in terms
+of it.
+
+This module provides
+
+* re-exports of the constructive generator / verifier from
+  :mod:`repro.graph.generators` (the workloads used in the Table 2 benchmark),
+* :func:`ors_lower_bound_construction` -- the classical behrend-free layered
+  construction giving a modest but certified ``t`` for a requested ``r``,
+* the symbolic update-time formulas of Theorem 7.4 (this paper) and of
+  [AKK25]'s Lemma 7.3, so the benchmark can plot the two trade-off curves for
+  a measured/assumed ``ORS`` value and exhibit the exponential-vs-polynomial
+  gap in ``1/eps``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.generators import ors_layered_graph, verify_ors
+
+Edge = Tuple[int, int]
+
+__all__ = [
+    "ors_layered_graph",
+    "verify_ors",
+    "ors_lower_bound_construction",
+    "thm74_update_time",
+    "akk25_update_time",
+]
+
+
+def ors_lower_bound_construction(n: int, r: int) -> Tuple[Graph, List[List[Edge]]]:
+    """A certified (r, t)-ORS construction with ``t = floor(n / (2r))`` layers.
+
+    The construction is elementary (each layer uses fresh vertices, so every
+    matching is trivially induced in its suffix); it does not approach the
+    conjectured extremal ``ORS`` values but provides valid instances whose
+    parameter ``t`` is known exactly, which is what the benchmark needs.
+    """
+    if r <= 0:
+        raise ValueError("r must be positive")
+    t = n // (2 * r)
+    graph = Graph(n)
+    matchings: List[List[Edge]] = []
+    vertex = 0
+    for _layer in range(t):
+        layer_edges: List[Edge] = []
+        for _ in range(r):
+            u, v = vertex, vertex + 1
+            graph.add_edge(u, v)
+            layer_edges.append((u, v))
+            vertex += 2
+        matchings.append(layer_edges)
+    return graph, matchings
+
+
+# ---------------------------------------------------------------------------
+# Table 2 formulas
+# ---------------------------------------------------------------------------
+
+def thm74_update_time(n: int, eps: float, k: int, ors_value: float) -> float:
+    """The Theorem 7.4 amortized update-time expression (up to constants).
+
+    ``n^{1/(k+1)} * ORS(n, poly(eps/15^k) n)^{1 - 1/(k+1)} * n^{10/15^k}
+    * eps^{-O(k)}`` -- polynomial in ``1/eps`` for any fixed ``k``.
+    """
+    if eps <= 0 or eps >= 1:
+        raise ValueError("eps must lie in (0, 1)")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    exponent_n = 1.0 / (k + 1)
+    return (n ** exponent_n
+            * ors_value ** (1.0 - exponent_n)
+            * n ** (10.0 / (15.0 ** k))
+            * (1.0 / eps) ** (4 * k))
+
+
+def akk25_update_time(n: int, eps: float, k: int, ors_value: float) -> float:
+    """The [AKK25] amortized update-time expression quoted in Table 2.
+
+    Identical in its ``n`` and ``ORS`` dependence but with an *exponential*
+    ``(1/eps)^{O(1/(eps * beta))}`` factor (``beta ~ 1/k`` here), i.e.
+    ``(1/eps)^{O(k/eps)}``.
+    """
+    if eps <= 0 or eps >= 1:
+        raise ValueError("eps must lie in (0, 1)")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    exponent_n = 1.0 / (k + 1)
+    exponential_factor_log = (k / eps) * math.log(1.0 / eps)
+    # guard against overflow for the plot: return inf past ~1e300
+    if exponential_factor_log > 690:
+        return float("inf")
+    return (n ** exponent_n
+            * ors_value ** (1.0 - exponent_n)
+            * n ** (10.0 / (15.0 ** k))
+            * math.exp(exponential_factor_log))

@@ -1,0 +1,151 @@
+"""Fully dynamic graph with an explicit update log (Section 7 substrate).
+
+The dynamic algorithms of Section 7 operate on a graph that *starts empty* and
+receives an online sequence of edge insertions and deletions, grouped into
+chunks of ``alpha * n`` updates (Problem 1).  :class:`DynamicGraph` is that
+container: a :class:`~repro.graph.graph.Graph` plus an append-only update log
+and chunking helpers.
+
+"Empty updates" (Problem 1 allows updates that do not change the graph, used
+when chunk sizes must be padded) are represented by :data:`Update.EMPTY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph, normalize_edge
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single edge update.
+
+    Attributes
+    ----------
+    kind:
+        ``"insert"``, ``"delete"`` or ``"empty"``.
+    u, v:
+        Edge endpoints (``-1`` for empty updates).
+    """
+
+    kind: str
+    u: int = -1
+    v: int = -1
+
+    INSERT = "insert"
+    DELETE = "delete"
+    EMPTY = "empty"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (Update.INSERT, Update.DELETE, Update.EMPTY):
+            raise ValueError(f"unknown update kind {self.kind!r}")
+        if self.kind != Update.EMPTY and self.u == self.v:
+            raise ValueError("self-loop updates are not allowed")
+
+    @staticmethod
+    def insert(u: int, v: int) -> "Update":
+        return Update(Update.INSERT, *normalize_edge(u, v))
+
+    @staticmethod
+    def delete(u: int, v: int) -> "Update":
+        return Update(Update.DELETE, *normalize_edge(u, v))
+
+    @staticmethod
+    def empty() -> "Update":
+        return Update(Update.EMPTY)
+
+
+class DynamicGraph:
+    """A fully dynamic graph: current snapshot + append-only update log.
+
+    The graph starts empty (Problem 1).  ``apply`` mutates the snapshot and
+    records the update; ``max_edges_seen`` tracks the parameter ``m`` of the
+    paper (the maximum number of edges ever present).
+    """
+
+    def __init__(self, n: int) -> None:
+        self._graph = Graph(n)
+        self._log: List[Update] = []
+        self._max_edges = 0
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def n(self) -> int:
+        return self._graph.n
+
+    @property
+    def m(self) -> int:
+        """Current number of edges."""
+        return self._graph.m
+
+    @property
+    def max_edges_seen(self) -> int:
+        """The parameter ``m`` of Problem 1: max #edges at any point so far."""
+        return self._max_edges
+
+    @property
+    def num_updates(self) -> int:
+        return len(self._log)
+
+    @property
+    def graph(self) -> Graph:
+        """The current snapshot (treat as read-only; mutate via :meth:`apply`)."""
+        return self._graph
+
+    def log(self) -> Sequence[Update]:
+        """The full update log."""
+        return tuple(self._log)
+
+    # ---------------------------------------------------------------- updates
+    def apply(self, update: Update) -> bool:
+        """Apply one update.  Returns whether the snapshot actually changed."""
+        changed = False
+        if update.kind == Update.INSERT:
+            changed = self._graph.add_edge(update.u, update.v)
+        elif update.kind == Update.DELETE:
+            changed = self._graph.remove_edge(update.u, update.v)
+        self._log.append(update)
+        self._max_edges = max(self._max_edges, self._graph.m)
+        return changed
+
+    def insert(self, u: int, v: int) -> bool:
+        return self.apply(Update.insert(u, v))
+
+    def delete(self, u: int, v: int) -> bool:
+        return self.apply(Update.delete(u, v))
+
+    def apply_all(self, updates: Iterable[Update]) -> int:
+        """Apply a sequence of updates; returns how many changed the graph."""
+        return sum(1 for upd in updates if self.apply(upd))
+
+    # ----------------------------------------------------------------- chunks
+    @staticmethod
+    def chunk_updates(updates: Sequence[Update], chunk_size: int,
+                      pad: bool = True) -> List[List[Update]]:
+        """Split an update sequence into chunks of exactly ``chunk_size``.
+
+        Problem 1 requires every chunk to contain exactly ``alpha * n`` updates;
+        when ``pad`` is true the final chunk is padded with empty updates.
+        """
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        chunks: List[List[Update]] = []
+        for start in range(0, len(updates), chunk_size):
+            chunk = list(updates[start:start + chunk_size])
+            if pad and len(chunk) < chunk_size:
+                chunk.extend(Update.empty() for _ in range(chunk_size - len(chunk)))
+            chunks.append(chunk)
+        return chunks
+
+    def replay(self, upto: Optional[int] = None) -> Graph:
+        """Rebuild the snapshot after the first ``upto`` updates (offline use)."""
+        upto = len(self._log) if upto is None else upto
+        g = Graph(self.n)
+        for update in self._log[:upto]:
+            if update.kind == Update.INSERT:
+                g.add_edge(update.u, update.v)
+            elif update.kind == Update.DELETE:
+                g.remove_edge(update.u, update.v)
+        return g

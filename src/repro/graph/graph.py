@@ -1,0 +1,256 @@
+"""Undirected simple graph container used throughout the library.
+
+The paper (Section 3) works with an undirected simple graph ``G`` on vertices
+``0..n-1``.  All static algorithms in this reproduction -- the semi-streaming
+algorithm of [MMSS25], the boosting framework of Section 5, the MPC/CONGEST
+substrates and the baselines -- operate on instances of :class:`Graph`.
+
+Design notes
+------------
+* Storage is an adjacency-set per vertex.  The algorithms are combinatorial and
+  pointer-chasing; sets give O(1) membership tests which dominate the access
+  pattern (checking whether an edge is matched / whether an endpoint is
+  removed), per the "make it work, measure, then optimise" workflow of the
+  performance guides.
+* Vertices are dense integers ``0..n-1``.  Induced subgraphs relabel to a dense
+  range and keep a mapping back to the parent graph, because the exact blossom
+  matcher and the oracles expect dense vertex ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` representation of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """A mutable undirected simple graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to insert.  Self-loops are
+        rejected; parallel edges are silently deduplicated (the graph is
+        simple).
+    """
+
+    __slots__ = ("_n", "_adj", "_m")
+
+    def __init__(self, n: int, edges: Optional[Iterable[Edge]] = None) -> None:
+        if n < 0:
+            raise ValueError(f"number of vertices must be non-negative, got {n}")
+        self._n = n
+        self._adj: List[Set[int]] = [set() for _ in range(n)]
+        self._m = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def vertices(self) -> range:
+        """Iterate over all vertex ids."""
+        return range(self._n)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, edge: Edge) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise ValueError(f"vertex {v} out of range [0, {self._n})")
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``{u, v}``.  Returns ``True`` if the edge is new."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop ({u}, {v}) not allowed in a simple graph")
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete edge ``{u, v}``.  Returns ``True`` if the edge existed."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` is present."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return v in self._adj[u]
+
+    def neighbors(self, v: int) -> Set[int]:
+        """The adjacency set of ``v`` (do not mutate)."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices (0 for an empty graph)."""
+        if self._n == 0:
+            return 0
+        return max(len(a) for a in self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as canonical ``(u, v)`` pairs with ``u < v``."""
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> List[Edge]:
+        """Materialise :meth:`edges` into a list."""
+        return list(self.edges())
+
+    def arcs(self) -> Iterator[Edge]:
+        """Iterate over both orientations of every edge (Section 3.3 arcs)."""
+        for u in range(self._n):
+            for v in self._adj[u]:
+                yield (u, v)
+
+    # ----------------------------------------------------------------- derived
+    def copy(self) -> "Graph":
+        """Deep copy of the graph."""
+        g = Graph(self._n)
+        g._adj = [set(a) for a in self._adj]
+        g._m = self._m
+        return g
+
+    def induced_subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Return ``G[S]`` relabelled to ``0..|S|-1`` plus the new->old map.
+
+        Parameters
+        ----------
+        vertices:
+            The vertex subset ``S`` (duplicates are ignored).
+
+        Returns
+        -------
+        (subgraph, back_map):
+            ``back_map[new_id] = old_id``.
+        """
+        uniq = list(dict.fromkeys(vertices))
+        index = {old: new for new, old in enumerate(uniq)}
+        sub = Graph(len(uniq))
+        for old_u in uniq:
+            self._check_vertex(old_u)
+            for old_v in self._adj[old_u]:
+                if old_v in index and old_u < old_v:
+                    sub.add_edge(index[old_u], index[old_v])
+        return sub, {new: old for old, new in index.items()}
+
+    def subgraph_edges(self, vertices: Iterable[int]) -> List[Edge]:
+        """Edges of ``G[S]`` in the *original* labelling."""
+        s = set(vertices)
+        out: List[Edge] = []
+        for u in s:
+            for v in self._adj[u]:
+                if v in s and u < v:
+                    out.append((u, v))
+        return out
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components as lists of vertices (iterative DFS)."""
+        seen = [False] * self._n
+        comps: List[List[int]] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            comp = []
+            while stack:
+                u = stack.pop()
+                comp.append(u)
+                for v in self._adj[u]:
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(v)
+            comps.append(comp)
+        return comps
+
+    def arboricity_upper_bound(self) -> int:
+        """A cheap upper bound on arboricity: ``ceil(max_degeneracy ... )``.
+
+        We use the degeneracy (computed by repeated minimum-degree peeling),
+        which upper bounds arboricity within a factor of 2 and is what
+        Remark 1 of the paper cares about qualitatively.
+        """
+        if self._m == 0:
+            return 0
+        degree = [len(a) for a in self._adj]
+        remaining = set(range(self._n))
+        adj = [set(a) for a in self._adj]
+        import heapq
+
+        heap = [(degree[v], v) for v in remaining]
+        heapq.heapify(heap)
+        degeneracy = 0
+        removed = [False] * self._n
+        while heap:
+            d, v = heapq.heappop(heap)
+            if removed[v] or d != degree[v]:
+                continue
+            removed[v] = True
+            degeneracy = max(degeneracy, d)
+            for w in adj[v]:
+                if not removed[w]:
+                    adj[w].discard(v)
+                    degree[w] -= 1
+                    heapq.heappush(heap, (degree[w], w))
+        return degeneracy
+
+    # ---------------------------------------------------------------- numerics
+    def adjacency_matrix(self):
+        """Dense boolean adjacency matrix (numpy), used by the OMv substrate."""
+        import numpy as np
+
+        mat = np.zeros((self._n, self._n), dtype=bool)
+        for u, v in self.edges():
+            mat[u, v] = True
+            mat[v, u] = True
+        return mat
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Edge]) -> "Graph":
+        """Construct a graph from an edge iterable (convenience alias)."""
+        return cls(n, edges)

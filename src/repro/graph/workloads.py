@@ -1,0 +1,141 @@
+"""Dynamic update-sequence generators (workloads for the Section 7 algorithms).
+
+The dynamic benchmarks need online sequences of edge insertions/deletions.  The
+families below cover the regimes the paper's dynamic results target:
+
+* ``insertion_only`` / ``sliding_window`` -- classic incremental and
+  turnstile-style streams over a random graph,
+* ``planted_matching_churn`` -- a planted perfect matching whose edges are
+  repeatedly deleted and re-inserted (keeps mu(G) = Theta(n) as Theorem 6.2
+  assumes, while forcing the maintainer to re-augment),
+* ``ors_reveal`` -- reveals an ORS-style graph matching-by-matching then
+  deletes it again (the hard instances behind Table 2's ORS dependence),
+* ``adversarial_matched_edge_deletions`` -- deletes edges of the currently
+  maintained matching (adaptive-adversary flavour).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.graph.dynamic_graph import Update
+from repro.graph.generators import ors_layered_graph, planted_matching
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def insertion_only(n: int, m: int, seed: Optional[int] = None) -> List[Update]:
+    """``m`` random distinct edge insertions on ``n`` vertices."""
+    rng = _rng(seed)
+    seen = set()
+    updates: List[Update] = []
+    max_m = n * (n - 1) // 2
+    target = min(m, max_m)
+    while len(updates) < target:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        e = (min(u, v), max(u, v))
+        if e in seen:
+            continue
+        seen.add(e)
+        updates.append(Update.insert(*e))
+    return updates
+
+
+def sliding_window(n: int, num_updates: int, window: int,
+                   seed: Optional[int] = None) -> List[Update]:
+    """Insert random edges; delete each edge ``window`` updates after insertion."""
+    rng = _rng(seed)
+    updates: List[Update] = []
+    live: List[Tuple[int, int]] = []
+    present = set()
+    while len(updates) < num_updates:
+        if len(live) >= window:
+            e = live.pop(0)
+            present.discard(e)
+            updates.append(Update.delete(*e))
+            continue
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        e = (min(u, v), max(u, v))
+        if e in present:
+            continue
+        present.add(e)
+        live.append(e)
+        updates.append(Update.insert(*e))
+    return updates[:num_updates]
+
+
+def planted_matching_churn(n_pairs: int, rounds: int, churn_fraction: float = 0.25,
+                           noise_prob: float = 0.02,
+                           seed: Optional[int] = None) -> Tuple[int, List[Update]]:
+    """Workload keeping mu(G) = Theta(n) while repeatedly breaking the matching.
+
+    Builds a planted perfect matching plus noise, then for ``rounds`` rounds
+    deletes a ``churn_fraction`` of the planted edges and re-inserts them.
+    Returns ``(n, updates)``.
+    """
+    rng = _rng(seed)
+    graph, planted = planted_matching(n_pairs, extra_edge_prob=noise_prob, seed=seed)
+    n = graph.n
+    updates: List[Update] = [Update.insert(u, v) for u, v in graph.edges()]
+    k = max(1, int(churn_fraction * len(planted)))
+    for _ in range(rounds):
+        victims = rng.sample(planted, k)
+        for u, v in victims:
+            updates.append(Update.delete(u, v))
+        for u, v in victims:
+            updates.append(Update.insert(u, v))
+    return n, updates
+
+
+def ors_reveal(n: int, matching_size: int, num_matchings: int,
+               seed: Optional[int] = None) -> Tuple[int, List[Update]]:
+    """Reveal an ORS-style graph matching-by-matching, then delete it in order."""
+    graph, matchings = ors_layered_graph(n, matching_size, num_matchings, seed=seed)
+    updates: List[Update] = []
+    for mi in matchings:
+        for u, v in mi:
+            updates.append(Update.insert(u, v))
+    for mi in matchings:
+        for u, v in mi:
+            updates.append(Update.delete(u, v))
+    return n, updates
+
+
+def adversarial_matched_edge_deletions(
+        n_pairs: int, rounds: int,
+        current_matching: Callable[[], Sequence[Tuple[int, int]]],
+        seed: Optional[int] = None) -> Tuple[int, Callable[[], Optional[Update]]]:
+    """Adaptive workload: each step deletes an edge of the *current* matching.
+
+    Because the choice depends on the maintainer's state, this returns a
+    callable producing the next update lazily; the benchmark drives it.
+    ``current_matching`` is queried each step.  When the matching is empty a
+    random re-insertion of a previously deleted edge is produced instead.
+    """
+    rng = _rng(seed)
+    deleted: List[Tuple[int, int]] = []
+    remaining = rounds * 2
+
+    def next_update() -> Optional[Update]:
+        nonlocal remaining
+        if remaining <= 0:
+            return None
+        remaining -= 1
+        matching = list(current_matching())
+        if matching and (not deleted or rng.random() < 0.6):
+            u, v = matching[rng.randrange(len(matching))]
+            deleted.append((min(u, v), max(u, v)))
+            return Update.delete(u, v)
+        if deleted:
+            u, v = deleted.pop(rng.randrange(len(deleted)))
+            return Update.insert(u, v)
+        return Update.empty()
+
+    return 2 * n_pairs, next_update

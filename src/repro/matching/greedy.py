@@ -1,0 +1,83 @@
+"""Greedy maximal matchings -- the textbook Theta(1)-approximate oracles.
+
+A maximal matching is a 2-approximate maximum matching; this is the canonical
+instantiation of the ``Amatching`` oracle of Definition 5.1 (``c = 2``) and of
+the baseline the framework boosts.  Both a deterministic edge-order greedy and
+a random-order greedy (used when an oblivious/adaptive adversary matters) are
+provided, plus a degree-bounded variant used by some weak-oracle constructions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.matching.matching import Matching
+
+Edge = Tuple[int, int]
+
+
+def greedy_maximal_matching(graph: Graph,
+                            edge_order: Optional[Sequence[Edge]] = None,
+                            forbidden: Optional[Iterable[int]] = None) -> Matching:
+    """Deterministic greedy maximal matching.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    edge_order:
+        Optional explicit edge order; defaults to the graph's iteration order.
+    forbidden:
+        Vertices that must remain unmatched (used when peeling already-matched
+        vertices, Lemma 5.3 / Lemma 6.7).
+    """
+    matching = Matching(graph.n)
+    blocked = set(forbidden) if forbidden is not None else set()
+    edges = edge_order if edge_order is not None else graph.edges()
+    for u, v in edges:
+        if u in blocked or v in blocked:
+            continue
+        if matching.is_free(u) and matching.is_free(v):
+            matching.add(u, v)
+    return matching
+
+
+def random_greedy_matching(graph: Graph, seed: Optional[int] = None,
+                           forbidden: Optional[Iterable[int]] = None) -> Matching:
+    """Greedy maximal matching over a uniformly random edge order."""
+    rng = random.Random(seed)
+    edges = graph.edge_list()
+    rng.shuffle(edges)
+    return greedy_maximal_matching(graph, edge_order=edges, forbidden=forbidden)
+
+
+def greedy_on_vertex_subset(graph: Graph, subset: Sequence[int],
+                            seed: Optional[int] = None) -> List[Edge]:
+    """Greedy maximal matching of the induced subgraph ``G[S]``.
+
+    Returns the matched edges in the *original* labelling.  This is the
+    work-horse behind several ``Aweak`` implementations (Definition 6.1): it
+    touches only edges with both endpoints in ``S``.
+    """
+    rng = random.Random(seed)
+    s = set(subset)
+    sub_edges = graph.subgraph_edges(s)
+    rng.shuffle(sub_edges)
+    used = set()
+    out: List[Edge] = []
+    for u, v in sub_edges:
+        if u not in used and v not in used:
+            used.add(u)
+            used.add(v)
+            out.append((u, v))
+    return out
+
+
+def maximal_matching_is_maximal(graph: Graph, matching: Matching) -> bool:
+    """Check maximality: no graph edge has both endpoints free."""
+    for u, v in graph.edges():
+        if matching.is_free(u) and matching.is_free(v):
+            return False
+    return True

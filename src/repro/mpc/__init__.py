@@ -1,0 +1,13 @@
+"""MPC substrate: a round-synchronous simulator, a Theta(1)-approximate MPC
+matching algorithm, and the Corollary A.1 instantiation of the framework."""
+
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.matching_mpc import mpc_approx_matching, MPCMatchingOracle
+from repro.mpc.boost_mpc import mpc_boosted_matching
+
+__all__ = [
+    "MPCSimulator",
+    "mpc_approx_matching",
+    "MPCMatchingOracle",
+    "mpc_boosted_matching",
+]

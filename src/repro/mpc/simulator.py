@@ -1,0 +1,140 @@
+"""A lightweight round-synchronous MPC simulator.
+
+The Massively Parallel Computation model (Section 3.4) has ``M`` machines with
+local memory ``S``; computation proceeds in synchronous rounds, and per round a
+machine may send/receive at most ``S`` words.  The paper only needs the model
+as a *cost model*: what matters for Theorem 1.1 / Table 1 is how many rounds
+the Theta(1)-approximate matching oracle and the clean-up steps take.
+
+:class:`MPCSimulator` therefore simulates the round structure and accounts for
+memory and communication, executing "machine programs" written as Python
+callables.  It mirrors the message-passing style of the mpi4py guide
+(synchronous supersteps, explicit exchanged messages) while staying
+single-process.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.instrumentation.counters import Counters
+
+Message = Tuple[int, object]  # (destination machine, payload)
+
+
+class MemoryExceeded(RuntimeError):
+    """Raised when a machine exceeds its local memory budget ``S``."""
+
+
+class MPCSimulator:
+    """Round-synchronous simulator with per-machine memory accounting.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of machines ``M``.
+    memory_per_machine:
+        Local memory ``S`` in words.  ``None`` disables the memory check
+        (useful for unit tests of algorithms, not of the model).
+    counters:
+        Counter bag; rounds are charged to ``mpc_rounds`` and total exchanged
+        words to ``mpc_messages``.
+    strict:
+        When true, exceeding ``S`` raises :class:`MemoryExceeded`; otherwise
+        the violation is only recorded in ``mpc_memory_violations``.
+    """
+
+    def __init__(self, num_machines: int, memory_per_machine: Optional[int] = None,
+                 counters: Optional[Counters] = None, strict: bool = True) -> None:
+        if num_machines <= 0:
+            raise ValueError("need at least one machine")
+        self.num_machines = num_machines
+        self.memory_per_machine = memory_per_machine
+        self.counters = counters if counters is not None else Counters()
+        self.strict = strict
+        # local storage of each machine: a list of words (arbitrary objects)
+        self.storage: List[List[object]] = [[] for _ in range(num_machines)]
+
+    # ------------------------------------------------------------------ setup
+    def scatter(self, items: Sequence[object]) -> None:
+        """Distribute input items round-robin across machines (round 0 load)."""
+        for machine in self.storage:
+            machine.clear()
+        for i, item in enumerate(items):
+            self.storage[i % self.num_machines].append(item)
+        self._check_memory()
+
+    def machine_for_vertex(self, v: int) -> int:
+        """Deterministic vertex-to-machine assignment (hash partitioning)."""
+        return v % self.num_machines
+
+    # ----------------------------------------------------------------- rounds
+    def round(self,
+              program: Callable[[int, List[object]], Iterable[Message]]) -> None:
+        """Execute one synchronous round.
+
+        ``program(machine_id, local_items)`` runs on every machine and returns
+        the messages to deliver; messages are exchanged at the end of the
+        round and appended to the recipients' local storage.
+        """
+        outboxes: List[List[Message]] = []
+        for machine_id in range(self.num_machines):
+            msgs = list(program(machine_id, self.storage[machine_id]))
+            outboxes.append(msgs)
+
+        inboxes: Dict[int, List[object]] = defaultdict(list)
+        total_words = 0
+        for machine_id, msgs in enumerate(outboxes):
+            sent = len(msgs)
+            total_words += sent
+            if self.memory_per_machine is not None and sent > self.memory_per_machine:
+                self._violation(machine_id, sent)
+            for dest, payload in msgs:
+                inboxes[dest].append(payload)
+
+        for dest, payloads in inboxes.items():
+            if (self.memory_per_machine is not None
+                    and len(payloads) > self.memory_per_machine):
+                self._violation(dest, len(payloads))
+            self.storage[dest].extend(payloads)
+
+        self.counters.add("mpc_rounds")
+        self.counters.add("mpc_messages", total_words)
+        self._check_memory()
+
+    def broadcast_round(self, values_by_machine: Sequence[object]) -> List[object]:
+        """Convenience: every machine publishes one value; all machines see all.
+
+        Costs one round and M^2 words (a clique exchange); only used for small
+        coordination payloads (O(M) << S words).
+        """
+        self.counters.add("mpc_rounds")
+        self.counters.add("mpc_messages", self.num_machines * len(values_by_machine))
+        return list(values_by_machine)
+
+    # --------------------------------------------------------------- internal
+    def _violation(self, machine_id: int, amount: int) -> None:
+        self.counters.add("mpc_memory_violations")
+        if self.strict:
+            raise MemoryExceeded(
+                f"machine {machine_id} handled {amount} words "
+                f"(budget {self.memory_per_machine})")
+
+    def _check_memory(self) -> None:
+        if self.memory_per_machine is None:
+            return
+        for machine_id, items in enumerate(self.storage):
+            if len(items) > self.memory_per_machine:
+                self._violation(machine_id, len(items))
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def rounds(self) -> int:
+        return int(self.counters.get("mpc_rounds"))
+
+    @staticmethod
+    def default_machine_count(n: int, m: int, memory_per_machine: int) -> int:
+        """Enough machines to hold the input: ceil((n + m) / S)."""
+        return max(1, math.ceil((n + m) / max(1, memory_per_machine)))

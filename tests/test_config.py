@@ -1,0 +1,83 @@
+"""Tests for the parameter schedules (repro.core.config)."""
+
+import math
+
+import pytest
+
+from repro.core.config import ParameterProfile
+
+
+class TestConstruction:
+    def test_eps_rounded_to_power_of_two_inverse(self):
+        p = ParameterProfile.practical(0.3)
+        assert p.eps == 0.25
+        p = ParameterProfile.practical(0.25)
+        assert p.eps == 0.25
+        p = ParameterProfile.practical(0.2)
+        assert p.eps == 0.125
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterProfile.practical(0.0)
+        with pytest.raises(ValueError):
+            ParameterProfile.practical(0.7)
+
+    def test_paper_profile_formulas(self):
+        p = ParameterProfile.paper(0.25, c=2.0)
+        assert p.ell_max == 12  # 3/eps
+        assert p.phase_factor == 144.0 and p.bundle_factor == 72.0
+        assert p.delta == pytest.approx(0.25 ** 107)
+        assert not p.early_exit
+        # 22 * c * ln(1/eps)
+        assert p.sim_iterations == math.ceil(22 * 2 * math.log(4))
+
+    def test_practical_profile_is_small(self):
+        p = ParameterProfile.practical(0.25)
+        assert p.early_exit
+        assert p.phases(0.5) <= p.max_phase_cap
+        assert p.sim_iterations < 20
+
+
+class TestSchedule:
+    def test_scales_decrease_to_floor(self):
+        p = ParameterProfile.practical(0.25)
+        assert p.scales[0] == 0.5
+        for a, b in zip(p.scales, p.scales[1:]):
+            assert b == a / 2
+        assert p.scales[-1] >= (p.eps ** 2) / 64 - 1e-12
+
+    def test_phase_and_bundle_counts_grow_as_scale_shrinks(self):
+        p = ParameterProfile.paper(0.25)
+        assert p.phases(0.25) > p.phases(0.5)
+        assert p.pass_bundles(0.25) > p.pass_bundles(0.5)
+
+    def test_structure_limit(self):
+        p = ParameterProfile.practical(0.25)
+        assert p.structure_limit(0.5) >= 3
+        assert p.structure_limit(0.125) > p.structure_limit(0.5)
+
+    def test_structure_size_bound_lemma45(self):
+        p = ParameterProfile.paper(0.25)
+        assert p.structure_size_bound(0.5) == math.ceil(36 * 0.5 / 0.25)
+
+    def test_stages_cover_all_labels(self):
+        p = ParameterProfile.practical(0.25)
+        stages = list(p.stages())
+        assert stages[0] == 0 and stages[-1] == p.ell_max
+
+    def test_label_default(self):
+        p = ParameterProfile.practical(0.25)
+        assert p.label_default == p.ell_max + 1
+
+
+class TestHeadlineBounds:
+    def test_theorem11_improves_on_fmu22(self):
+        for eps in (0.25, 0.125, 0.0625):
+            p = ParameterProfile.paper(eps)
+            ours = p.paper_invocation_bound()
+            assert ours < p.fmu22_mmss25_invocation_bound() < p.fmu22_invocation_bound()
+
+    def test_bounds_grow_as_eps_shrinks(self):
+        b1 = ParameterProfile.paper(0.25).paper_invocation_bound()
+        b2 = ParameterProfile.paper(0.125).paper_invocation_bound()
+        assert b2 > b1

@@ -1,0 +1,101 @@
+"""Tests for the CONGEST substrate and the Corollary A.2 instantiation."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, path_graph, cycle_graph
+from repro.graph.graph import Graph
+from repro.matching.blossom import maximum_matching_size
+from repro.matching.matching import Matching
+from repro.matching.verify import certify_approximation
+from repro.instrumentation.counters import Counters
+from repro.congest.simulator import CongestSimulator, MessageTooLarge
+from repro.congest.matching_congest import CongestMatchingOracle, congest_approx_matching
+from repro.congest.boost_congest import congest_boosted_matching
+
+
+class TestSimulator:
+    def test_messages_only_along_edges(self):
+        g = path_graph(3)
+        sim = CongestSimulator(g)
+
+        def program(v, state, inbox):
+            return {2: ("hi",)} if v == 0 else {}
+
+        with pytest.raises(ValueError):
+            sim.round(program)
+
+    def test_message_size_limit(self):
+        g = path_graph(2)
+        sim = CongestSimulator(g, strict=True)
+
+        def program(v, state, inbox):
+            return {1 - v: tuple(range(10))}
+
+        with pytest.raises(MessageTooLarge):
+            sim.round(program)
+
+    def test_round_delivery_and_counting(self):
+        g = path_graph(2)
+        counters = Counters()
+        sim = CongestSimulator(g, counters=counters)
+        received = {}
+
+        def send(v, state, inbox):
+            return {1 - v: ("ping", v)}
+
+        def recv(v, state, inbox):
+            received[v] = dict(inbox)
+            return {}
+
+        sim.round(send)
+        sim.round(recv)
+        assert counters.get("congest_rounds") == 2
+        assert counters.get("congest_messages") == 2
+        assert received[0][1] == ("ping", 1)
+
+    def test_component_aggregation_charge(self):
+        g = path_graph(4)
+        counters = Counters()
+        sim = CongestSimulator(g, counters=counters)
+        sim.charge_component_aggregation(5)
+        assert counters.get("congest_rounds") == 10
+
+
+class TestCongestMatching:
+    def test_two_approximation(self):
+        for seed in range(3):
+            g = erdos_renyi(40, 0.1, seed=seed)
+            sim = CongestSimulator(g, counters=Counters())
+            edges = congest_approx_matching(g, sim, seed=seed)
+            m = Matching(g.n, edges)
+            m.validate(g)
+            assert 2 * m.size >= maximum_matching_size(g)
+
+    def test_odd_cycle(self):
+        g = cycle_graph(7)
+        sim = CongestSimulator(g)
+        edges = congest_approx_matching(g, sim, seed=1)
+        m = Matching(g.n, edges)
+        m.validate(g)
+        assert 2 * m.size >= 3
+
+    def test_oracle_counts_rounds(self):
+        counters = Counters()
+        oracle = CongestMatchingOracle(counters=counters, seed=2)
+        g = erdos_renyi(30, 0.15, seed=2)
+        edges = oracle.find_matching(g)
+        Matching(g.n, edges).validate(g)
+        assert counters.get("congest_rounds") > 0
+
+
+class TestBoostedCongest:
+    def test_corollary_a2_quality_and_accounting(self):
+        g = erdos_renyi(40, 0.1, seed=5)
+        m, counters = congest_boosted_matching(g, 0.25, seed=5)
+        m.validate(g)
+        ok, ratio = certify_approximation(g, m, 0.25)
+        assert ok, ratio
+        assert counters.get("oracle_calls") > 0
+        # aggregation rounds reflect the extra poly(1/eps) CONGEST factor
+        assert counters.get("congest_aggregation_rounds") > 0
+        assert counters.get("congest_rounds") >= counters.get("congest_aggregation_rounds")

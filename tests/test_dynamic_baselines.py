@@ -1,0 +1,64 @@
+"""Tests for the dynamic baselines used in the Table 2 benchmarks."""
+
+from repro.graph.workloads import insertion_only, planted_matching_churn
+from repro.matching.blossom import maximum_matching_size
+from repro.instrumentation.counters import Counters
+from repro.dynamic.baselines import (
+    ExponentialBoostingDynamic,
+    LazyGreedyDynamic,
+    RecomputeFromScratchDynamic,
+)
+
+
+class TestRecompute:
+    def test_always_optimal(self):
+        updates = insertion_only(14, 30, seed=1)
+        alg = RecomputeFromScratchDynamic(14)
+        for upd in updates:
+            alg.update(upd)
+            m = alg.current_matching()
+            m.validate(alg.dynamic_graph.graph)
+            assert m.size == maximum_matching_size(alg.dynamic_graph.graph)
+
+    def test_work_charged_per_update(self):
+        counters = Counters()
+        alg = RecomputeFromScratchDynamic(10, counters=counters)
+        for upd in insertion_only(10, 10, seed=2):
+            alg.update(upd)
+        assert counters.get("update_work") >= 10 * 10  # >= n per update
+
+
+class TestLazyGreedy:
+    def test_two_approximation_throughout(self):
+        n, updates = planted_matching_churn(10, rounds=3, seed=3)
+        alg = LazyGreedyDynamic(n)
+        for upd in updates:
+            alg.update(upd)
+            m = alg.current_matching()
+            m.validate(alg.dynamic_graph.graph)
+        assert 2 * alg.current_matching().size >= maximum_matching_size(
+            alg.dynamic_graph.graph) - 1
+
+    def test_cheap_updates(self):
+        counters = Counters()
+        alg = LazyGreedyDynamic(20, counters=counters)
+        updates = insertion_only(20, 50, seed=4)
+        for upd in updates:
+            alg.update(upd)
+        # work is O(degree) per update, far below n per update
+        assert counters.get("update_work") < 20 * len(updates)
+
+
+class TestExponentialBaseline:
+    def test_valid_and_reasonable(self):
+        n, updates = planted_matching_churn(8, rounds=2, seed=5)
+        counters = Counters()
+        alg = ExponentialBoostingDynamic(n, 0.25, counters=counters, seed=5)
+        for upd in updates:
+            alg.update(upd)
+            alg.current_matching().validate(alg.dynamic_graph.graph)
+        assert counters.get("dyn_rebuilds") >= 1
+        assert counters.get("oracle_calls") > 0
+        # it maintains at least a 2-approximation (its rebuilds start maximal)
+        assert 2 * alg.current_matching().size >= maximum_matching_size(
+            alg.dynamic_graph.graph) - 1

@@ -1,0 +1,75 @@
+"""Unit tests for repro.graph.dynamic_graph."""
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph, Update
+
+
+class TestUpdate:
+    def test_insert_normalises(self):
+        upd = Update.insert(5, 2)
+        assert (upd.u, upd.v) == (2, 5)
+        assert upd.kind == Update.INSERT
+
+    def test_empty_update(self):
+        upd = Update.empty()
+        assert upd.kind == Update.EMPTY
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Update("bogus", 0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Update.insert(3, 3)
+
+
+class TestDynamicGraph:
+    def test_starts_empty(self):
+        dg = DynamicGraph(5)
+        assert dg.m == 0 and dg.n == 5
+        assert dg.max_edges_seen == 0
+
+    def test_insert_delete_cycle(self):
+        dg = DynamicGraph(4)
+        assert dg.insert(0, 1)
+        assert not dg.insert(0, 1)  # duplicate insert does not change graph
+        assert dg.insert(2, 3)
+        assert dg.max_edges_seen == 2
+        assert dg.delete(0, 1)
+        assert not dg.delete(0, 1)
+        assert dg.m == 1
+        assert dg.max_edges_seen == 2  # max is sticky
+        assert dg.num_updates == 5
+
+    def test_empty_updates_counted_but_noop(self):
+        dg = DynamicGraph(3)
+        dg.apply(Update.empty())
+        assert dg.num_updates == 1 and dg.m == 0
+
+    def test_apply_all(self):
+        dg = DynamicGraph(4)
+        changed = dg.apply_all([Update.insert(0, 1), Update.insert(0, 1),
+                                Update.delete(0, 1)])
+        assert changed == 2
+
+    def test_replay(self):
+        dg = DynamicGraph(4)
+        dg.insert(0, 1)
+        dg.insert(1, 2)
+        dg.delete(0, 1)
+        snapshot = dg.replay(upto=2)
+        assert snapshot.has_edge(0, 1) and snapshot.has_edge(1, 2)
+        final = dg.replay()
+        assert not final.has_edge(0, 1) and final.has_edge(1, 2)
+
+    def test_chunking_pads_with_empty(self):
+        updates = [Update.insert(0, 1), Update.insert(1, 2), Update.insert(2, 3)]
+        chunks = DynamicGraph.chunk_updates(updates, 2)
+        assert len(chunks) == 2
+        assert all(len(c) == 2 for c in chunks)
+        assert chunks[1][1].kind == Update.EMPTY
+
+    def test_chunking_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            DynamicGraph.chunk_updates([], 0)

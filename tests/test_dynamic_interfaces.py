@@ -1,0 +1,78 @@
+"""Tests for the Problem 1 interface (Section 7.2)."""
+
+import pytest
+
+from repro.graph.dynamic_graph import Update
+from repro.graph.workloads import insertion_only
+from repro.instrumentation.counters import Counters
+from repro.dynamic.interfaces import Problem1Instance
+from repro.dynamic.weak_oracles import GreedyInducedWeakOracle
+
+
+def make_instance(n=20, q=3, alpha=0.1, delta=0.05):
+    counters = Counters()
+    inst = Problem1Instance(
+        n=n,
+        oracle_factory=lambda g: GreedyInducedWeakOracle(g, seed=0),
+        q=q, lam=0.5, delta=delta, alpha=alpha,
+        counters=counters)
+    return inst
+
+
+class TestChunks:
+    def test_chunk_size_is_alpha_n(self):
+        inst = make_instance(n=20, alpha=0.1)
+        assert inst.chunk_size == 2
+
+    def test_apply_chunk_enforces_size(self):
+        inst = make_instance()
+        with pytest.raises(ValueError):
+            inst.apply_chunk([Update.insert(0, 1)])
+
+    def test_chunks_from_pads(self):
+        inst = make_instance(n=20, alpha=0.1)
+        updates = insertion_only(20, 5, seed=1)
+        chunks = inst.chunks_from(updates)
+        assert all(len(c) == inst.chunk_size for c in chunks)
+        for chunk in chunks:
+            inst.apply_chunk(chunk)
+        assert inst.graph.m == 5
+        assert inst.counters.get("p1_updates") == len(chunks) * inst.chunk_size
+
+    def test_graph_starts_empty(self):
+        inst = make_instance()
+        assert inst.graph.m == 0
+
+
+class TestQueries:
+    def test_query_limit_per_chunk(self):
+        inst = make_instance(q=2)
+        chunk = inst.chunks_from(insertion_only(20, 2, seed=2))[0]
+        inst.apply_chunk(chunk)
+        inst.query(list(range(20)))
+        inst.query(list(range(20)))
+        with pytest.raises(RuntimeError):
+            inst.query(list(range(20)))
+        # a new chunk resets the budget
+        inst.apply_chunk([Update.empty()] * inst.chunk_size)
+        inst.query(list(range(20)))
+
+    def test_query_answers_follow_definition61(self):
+        inst = make_instance(n=30, alpha=0.2, q=5)
+        updates = insertion_only(30, 40, seed=3)
+        for chunk in inst.chunks_from(updates):
+            inst.apply_chunk(chunk)
+        result = inst.query(list(range(30)))
+        if result is not None:
+            used = set()
+            for u, v in result:
+                assert inst.graph.has_edge(u, v)
+                assert u not in used and v not in used
+                used.update((u, v))
+        assert inst.counters.get("p1_queries") == 1
+        assert inst.counters.get("p1_query_work") == 30
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            Problem1Instance(10, lambda g: GreedyInducedWeakOracle(g),
+                             q=1, lam=0.5, delta=0.1, alpha=0.0)

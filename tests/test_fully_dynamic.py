@@ -1,0 +1,98 @@
+"""Tests for the fully dynamic maintainer (Theorem 7.1 framework)."""
+
+import pytest
+
+from repro.graph.dynamic_graph import Update
+from repro.graph.workloads import insertion_only, planted_matching_churn, sliding_window
+from repro.matching.blossom import maximum_matching_size
+from repro.matching.verify import certify_approximation
+from repro.instrumentation.counters import Counters
+from repro.dynamic.fully_dynamic import FullyDynamicMatching
+from repro.dynamic.weak_oracles import ExactInducedWeakOracle, OMvWeakOracle
+
+
+EPS = 0.25
+
+
+class TestMaintenance:
+    def test_matching_always_valid(self):
+        n, updates = planted_matching_churn(10, rounds=3, seed=1)
+        alg = FullyDynamicMatching(n, EPS, seed=1)
+        for upd in updates:
+            alg.update(upd)
+            alg.current_matching().validate(alg.graph)
+
+    def test_approximation_at_checkpoints(self):
+        n, updates = planted_matching_churn(12, rounds=4, seed=2)
+        alg = FullyDynamicMatching(n, EPS, seed=2)
+        for idx, upd in enumerate(updates):
+            alg.update(upd)
+            if idx % 25 == 0 or idx == len(updates) - 1:
+                m = alg.current_matching()
+                ok, ratio = certify_approximation(alg.graph, m, EPS)
+                assert ok, f"update {idx}: ratio {ratio}"
+
+    def test_insertion_only_reaches_near_optimum(self):
+        updates = insertion_only(30, 80, seed=3)
+        alg = FullyDynamicMatching(30, EPS, seed=3)
+        for upd in updates:
+            alg.update(upd)
+        ok, ratio = certify_approximation(alg.graph, alg.current_matching(), EPS)
+        assert ok, ratio
+
+    def test_sliding_window(self):
+        updates = sliding_window(24, 150, window=30, seed=4)
+        alg = FullyDynamicMatching(24, EPS, seed=4)
+        for upd in updates:
+            alg.update(upd)
+            alg.current_matching().validate(alg.graph)
+        ok, ratio = certify_approximation(alg.graph, alg.current_matching(), EPS)
+        assert ok, ratio
+
+    def test_deleting_matched_edge_is_handled(self):
+        alg = FullyDynamicMatching(4, EPS, seed=5)
+        alg.insert(0, 1)
+        assert alg.current_matching().contains_edge(0, 1)
+        alg.delete(0, 1)
+        assert alg.current_matching().size == 0
+        alg.current_matching().validate(alg.graph)
+
+    def test_empty_updates_are_cheap(self):
+        alg = FullyDynamicMatching(4, EPS, seed=6)
+        rebuilds_before = alg.counters.get("dyn_rebuilds")
+        for _ in range(10):
+            alg.update(Update.empty())
+        assert alg.counters.get("dyn_rebuilds") == rebuilds_before
+
+
+class TestAccounting:
+    def test_counters_and_amortized_work(self):
+        n, updates = planted_matching_churn(8, rounds=2, seed=7)
+        counters = Counters()
+        alg = FullyDynamicMatching(n, EPS, counters=counters, seed=7)
+        for upd in updates:
+            alg.update(upd)
+        assert counters.get("dyn_updates") == len(updates)
+        assert counters.get("dyn_rebuilds") >= 1
+        assert counters.get("weak_oracle_calls") > 0
+        assert alg.amortized_update_work() > 0
+
+    def test_exact_oracle_factory(self):
+        updates = insertion_only(16, 40, seed=8)
+        alg = FullyDynamicMatching(16, EPS, seed=8,
+                                   oracle_factory=lambda g: ExactInducedWeakOracle(g))
+        for upd in updates:
+            alg.update(upd)
+        ok, ratio = certify_approximation(alg.graph, alg.current_matching(), EPS)
+        assert ok, ratio
+
+    def test_omv_oracle_factory_counts_queries(self):
+        counters = Counters()
+        updates = insertion_only(16, 30, seed=9)
+        alg = FullyDynamicMatching(
+            16, EPS, counters=counters, seed=9,
+            oracle_factory=lambda g: OMvWeakOracle(g, counters=counters))
+        for upd in updates:
+            alg.update(upd)
+        alg.current_matching().validate(alg.graph)
+        assert counters.get("omv_updates") > 0

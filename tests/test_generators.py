@@ -1,0 +1,113 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    blossom_gadget,
+    cycle_graph,
+    disjoint_paths,
+    erdos_renyi,
+    nested_blossom_gadget,
+    ors_layered_graph,
+    path_graph,
+    planted_matching,
+    random_bipartite,
+    random_graph_m,
+    random_regular_like,
+    verify_ors,
+)
+from repro.graph.bipartite import is_bipartite
+from repro.matching.blossom import maximum_matching_size
+from repro.matching.matching import Matching
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_edge_count_reasonable(self):
+        g = erdos_renyi(50, 0.1, seed=1)
+        assert g.n == 50
+        expected = 0.1 * 50 * 49 / 2
+        assert 0.3 * expected < g.m < 2.0 * expected
+
+    def test_erdos_renyi_deterministic_given_seed(self):
+        a = erdos_renyi(30, 0.2, seed=42)
+        b = erdos_renyi(30, 0.2, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random_graph_m_exact_count(self):
+        g = random_graph_m(20, 30, seed=0)
+        assert g.m == 30
+
+    def test_random_graph_m_caps_at_complete(self):
+        g = random_graph_m(5, 100, seed=0)
+        assert g.m == 10
+
+    def test_random_bipartite_is_bipartite(self):
+        g, left, right = random_bipartite(10, 12, 0.3, seed=4)
+        assert is_bipartite(g)
+        left_set = set(left)
+        for u, v in g.edges():
+            assert (u in left_set) != (v in left_set)
+
+    def test_random_regular_like_degree_bound(self):
+        g = random_regular_like(20, 3, seed=2)
+        assert g.max_degree() <= 3
+
+
+class TestStructuredFamilies:
+    def test_planted_matching_is_certificate(self):
+        g, planted = planted_matching(15, extra_edge_prob=0.05, seed=3)
+        matching = Matching(g.n, planted)
+        matching.validate(g)
+        assert matching.size == 15
+        assert maximum_matching_size(g) == 15
+
+    def test_path_and_cycle_optimum(self):
+        assert maximum_matching_size(path_graph(7)) == 3
+        assert maximum_matching_size(path_graph(8)) == 4
+        assert maximum_matching_size(cycle_graph(7)) == 3
+        assert maximum_matching_size(cycle_graph(8)) == 4
+
+    def test_cycle_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_disjoint_paths_optimum(self):
+        g = disjoint_paths(4, 5)
+        assert g.n == 4 * 6
+        # each path with 5 edges has a maximum matching of 3
+        assert maximum_matching_size(g) == 12
+
+    def test_blossom_gadget_optimum(self):
+        # one triangle + stem of 2: 5 vertices, maximum matching 2
+        g = blossom_gadget(1, 2)
+        assert maximum_matching_size(g) == 2
+        g = blossom_gadget(4, 2)
+        assert maximum_matching_size(g) == 8
+
+    def test_nested_blossom_gadget(self):
+        g = nested_blossom_gadget()
+        assert g.n == 10
+        assert maximum_matching_size(g) == 5
+
+
+class TestORS:
+    def test_layered_ors_verifies(self):
+        graph, matchings = ors_layered_graph(60, 5, 4, seed=1)
+        assert verify_ors(graph, matchings)
+
+    def test_verify_ors_rejects_non_induced(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        # M1 = {(0,1),(2,3)} is NOT induced because edge (1,2) exists
+        assert not verify_ors(g, [[(0, 1), (2, 3)]])
+
+    def test_verify_ors_rejects_missing_edge(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1)])
+        assert not verify_ors(g, [[(2, 3)]])
+
+    def test_ors_rejects_oversized_matching(self):
+        with pytest.raises(ValueError):
+            ors_layered_graph(10, 6, 2, seed=0)

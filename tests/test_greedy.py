@@ -1,0 +1,77 @@
+"""Unit tests for greedy maximal matchings (the 2-approximate oracles)."""
+
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.graph.graph import Graph
+from repro.matching.blossom import maximum_matching_size
+from repro.matching.greedy import (
+    greedy_maximal_matching,
+    greedy_on_vertex_subset,
+    maximal_matching_is_maximal,
+    random_greedy_matching,
+)
+
+
+class TestGreedy:
+    def test_empty_graph(self):
+        m = greedy_maximal_matching(Graph(4))
+        assert m.size == 0
+
+    def test_is_maximal_and_valid(self, small_graphs):
+        for name, g in small_graphs:
+            m = greedy_maximal_matching(g)
+            m.validate(g)
+            assert maximal_matching_is_maximal(g, m), name
+
+    def test_two_approximation(self, small_graphs):
+        for name, g in small_graphs:
+            m = greedy_maximal_matching(g)
+            opt = maximum_matching_size(g)
+            assert 2 * m.size >= opt, name
+
+    def test_respects_edge_order(self):
+        g = path_graph(4)  # edges (0,1),(1,2),(2,3)
+        m = greedy_maximal_matching(g, edge_order=[(1, 2)])
+        assert m.size == 1 and m.contains_edge(1, 2)
+
+    def test_forbidden_vertices(self):
+        g = path_graph(4)
+        m = greedy_maximal_matching(g, forbidden=[1])
+        assert m.is_free(1)
+        assert m.size == 1 and m.contains_edge(2, 3)
+
+
+class TestRandomGreedy:
+    def test_deterministic_given_seed(self):
+        g = erdos_renyi(30, 0.2, seed=1)
+        a = random_greedy_matching(g, seed=7)
+        b = random_greedy_matching(g, seed=7)
+        assert a == b
+
+    def test_valid_and_maximal(self):
+        g = erdos_renyi(40, 0.1, seed=2)
+        m = random_greedy_matching(g, seed=3)
+        m.validate(g)
+        assert maximal_matching_is_maximal(g, m)
+
+
+class TestSubsetGreedy:
+    def test_only_uses_subset_edges(self):
+        g = erdos_renyi(30, 0.2, seed=4)
+        subset = list(range(10))
+        edges = greedy_on_vertex_subset(g, subset, seed=1)
+        s = set(subset)
+        for u, v in edges:
+            assert u in s and v in s
+            assert g.has_edge(u, v)
+
+    def test_result_is_matching(self):
+        g = erdos_renyi(30, 0.3, seed=5)
+        edges = greedy_on_vertex_subset(g, list(range(20)), seed=2)
+        used = set()
+        for u, v in edges:
+            assert u not in used and v not in used
+            used.update((u, v))
+
+    def test_empty_subset(self):
+        g = erdos_renyi(10, 0.5, seed=6)
+        assert greedy_on_vertex_subset(g, []) == []

@@ -1,0 +1,45 @@
+"""Tests for Hopcroft-Karp exact bipartite matching."""
+
+import pytest
+
+from conftest import brute_force_maximum_matching_size
+
+from repro.graph.generators import path_graph, random_bipartite, cycle_graph
+from repro.graph.graph import Graph
+from repro.matching.hopcroft_karp import hopcroft_karp, maximum_bipartite_matching_size
+
+
+class TestHopcroftKarp:
+    def test_simple_path(self):
+        m = hopcroft_karp(path_graph(5))
+        m.validate(path_graph(5))
+        assert m.size == 2
+
+    def test_perfect_matching_on_complete_bipartite(self):
+        g = Graph(6)
+        for u in range(3):
+            for v in range(3, 6):
+                g.add_edge(u, v)
+        m = hopcroft_karp(g, left=[0, 1, 2], right=[3, 4, 5])
+        assert m.size == 3
+
+    def test_matches_brute_force(self):
+        for seed in range(6):
+            g, left, right = random_bipartite(7, 8, 0.3, seed=seed)
+            assert hopcroft_karp(g).size == brute_force_maximum_matching_size(g)
+
+    def test_explicit_partition_agrees_with_auto(self):
+        g, left, right = random_bipartite(10, 10, 0.2, seed=3)
+        assert hopcroft_karp(g).size == hopcroft_karp(g, left=left, right=right).size
+
+    def test_rejects_odd_cycle(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(cycle_graph(5))
+
+    def test_empty_graph(self):
+        assert maximum_bipartite_matching_size(Graph(5)) == 0
+
+    def test_output_valid(self):
+        g, _, _ = random_bipartite(15, 12, 0.15, seed=9)
+        m = hopcroft_karp(g)
+        m.validate(g)

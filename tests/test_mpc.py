@@ -1,0 +1,89 @@
+"""Tests for the MPC substrate and the Corollary A.1 instantiation."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.graph.graph import Graph
+from repro.matching.blossom import maximum_matching_size
+from repro.matching.matching import Matching
+from repro.matching.verify import certify_approximation
+from repro.instrumentation.counters import Counters
+from repro.mpc.simulator import MPCSimulator, MemoryExceeded
+from repro.mpc.matching_mpc import MPCMatchingOracle, mpc_approx_matching
+from repro.mpc.boost_mpc import mpc_boosted_matching
+
+
+class TestSimulator:
+    def test_scatter_round_robin(self):
+        sim = MPCSimulator(3, memory_per_machine=10)
+        sim.scatter(list(range(7)))
+        sizes = [len(s) for s in sim.storage]
+        assert sum(sizes) == 7 and max(sizes) - min(sizes) <= 1
+
+    def test_round_delivers_messages_and_counts(self):
+        counters = Counters()
+        sim = MPCSimulator(2, counters=counters)
+        sim.scatter([1, 2, 3])
+
+        def program(machine_id, items):
+            return [(1 - machine_id, ("payload", machine_id))]
+
+        sim.round(program)
+        assert counters.get("mpc_rounds") == 1
+        assert counters.get("mpc_messages") == 2
+        assert any(isinstance(x, tuple) for x in sim.storage[0])
+
+    def test_memory_budget_enforced(self):
+        sim = MPCSimulator(2, memory_per_machine=2, strict=True)
+        with pytest.raises(MemoryExceeded):
+            sim.scatter(list(range(10)))
+
+    def test_memory_budget_soft_mode(self):
+        counters = Counters()
+        sim = MPCSimulator(2, memory_per_machine=2, strict=False, counters=counters)
+        sim.scatter(list(range(10)))
+        assert counters.get("mpc_memory_violations") >= 1
+
+    def test_default_machine_count(self):
+        assert MPCSimulator.default_machine_count(100, 400, 100) == 5
+
+
+class TestMPCMatching:
+    def test_maximal_and_valid(self):
+        for seed in range(3):
+            g = erdos_renyi(40, 0.1, seed=seed)
+            sim = MPCSimulator(4, counters=Counters())
+            edges = mpc_approx_matching(g, sim, seed=seed)
+            m = Matching(g.n, edges)
+            m.validate(g)
+            # 2-approximation (maximality may be probabilistic, approximation must hold)
+            assert 2 * m.size >= maximum_matching_size(g)
+
+    def test_rounds_counted(self):
+        g = erdos_renyi(40, 0.1, seed=3)
+        counters = Counters()
+        sim = MPCSimulator(4, counters=counters)
+        mpc_approx_matching(g, sim, seed=3)
+        assert counters.get("mpc_rounds") >= 2
+
+    def test_oracle_interface(self):
+        counters = Counters()
+        oracle = MPCMatchingOracle(counters=counters, seed=0)
+        g = path_graph(8)
+        edges = oracle.find_matching(g)
+        m = Matching(g.n, edges)
+        m.validate(g)
+        assert 2 * m.size >= maximum_matching_size(g)
+        assert counters.get("mpc_rounds") > 0
+
+
+class TestBoostedMPC:
+    def test_corollary_a1_quality_and_accounting(self):
+        g = erdos_renyi(40, 0.1, seed=4)
+        m, counters = mpc_boosted_matching(g, 0.25, seed=4)
+        m.validate(g)
+        ok, ratio = certify_approximation(g, m, 0.25)
+        assert ok, ratio
+        assert counters.get("oracle_calls") > 0
+        assert counters.get("mpc_total_rounds") >= counters.get("mpc_rounds")
+        assert counters.get("mpc_cleanup_rounds") > 0

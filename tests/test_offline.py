@@ -1,0 +1,48 @@
+"""Tests for the offline dynamic algorithm (Theorem 7.15 flavour)."""
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.workloads import insertion_only, planted_matching_churn, sliding_window
+from repro.matching.blossom import maximum_matching_size
+from repro.instrumentation.counters import Counters
+from repro.dynamic.offline import OfflineDynamicMatching
+
+
+EPS = 0.25
+
+
+class TestOffline:
+    def test_sizes_reported_per_update(self):
+        updates = insertion_only(20, 40, seed=1)
+        alg = OfflineDynamicMatching(20, EPS, seed=1)
+        sizes = alg.run(updates)
+        assert len(sizes) == len(updates)
+        assert all(b >= a - 1 for a, b in zip(sizes, sizes[1:]))  # sizes move by <= 1
+
+    def test_final_size_near_optimal(self):
+        n, updates = planted_matching_churn(10, rounds=3, seed=2)
+        alg = OfflineDynamicMatching(n, EPS, seed=2)
+        sizes = alg.run(updates)
+        dg = DynamicGraph(n)
+        dg.apply_all(updates)
+        opt = maximum_matching_size(dg.graph)
+        assert sizes[-1] >= opt / (1 + EPS) - 1
+
+    def test_epoch_plan_covers_sequence(self):
+        updates = sliding_window(20, 60, window=15, seed=3)
+        alg = OfflineDynamicMatching(20, EPS, seed=3)
+        boundaries = alg.plan_epochs(updates)
+        assert boundaries[0] == 0 and boundaries[-1] == len(updates)
+        assert all(a < b for a, b in zip(boundaries, boundaries[1:]))
+
+    def test_accounting(self):
+        updates = insertion_only(20, 50, seed=4)
+        counters = Counters()
+        alg = OfflineDynamicMatching(20, EPS, counters=counters, seed=4)
+        alg.run(updates)
+        assert counters.get("offline_epochs") >= 1
+        assert counters.get("dyn_updates") == len(updates)
+        assert alg.amortized_update_work() > 0
+
+    def test_empty_sequence(self):
+        alg = OfflineDynamicMatching(10, EPS, seed=5)
+        assert alg.run([]) == []

@@ -1,0 +1,119 @@
+"""Tests for the OMv substrate (Section 7.4)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi, random_bipartite
+from repro.instrumentation.counters import Counters
+from repro.dynamic.omv import ApproximateOMv, OMvMatrix, maximal_matching_via_omv
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+class TestOMvMatrix:
+    def test_update_get_query(self):
+        omv = OMvMatrix(5)
+        omv.update(0, 3, True)
+        omv.update(2, 4, True)
+        assert omv.get(0, 3) and not omv.get(3, 0)
+        v = np.zeros(5, dtype=bool)
+        v[3] = True
+        result = omv.query(v)
+        assert result.tolist() == [True, False, False, False, False]
+        omv.update(0, 3, False)
+        assert not omv.query(v).any()
+
+    def test_query_matches_dense_product(self):
+        rng = np.random.default_rng(0)
+        n = 37
+        dense = rng.random((n, n)) < 0.2
+        omv = OMvMatrix(n)
+        for i in range(n):
+            for j in range(n):
+                if dense[i, j]:
+                    omv.update(i, j, True)
+        for _ in range(5):
+            v = rng.random(n) < 0.3
+            expected = dense @ v > 0
+            assert np.array_equal(omv.query(v), expected)
+
+    def test_query_rejects_wrong_length(self):
+        omv = OMvMatrix(4)
+        with pytest.raises(ValueError):
+            omv.query(np.zeros(3, dtype=bool))
+
+    def test_counters(self):
+        counters = Counters()
+        omv = OMvMatrix(4, counters=counters)
+        omv.update(0, 1, True)
+        omv.query(np.zeros(4, dtype=bool))
+        omv.row_neighbors(0)
+        assert counters.get("omv_updates") == 1
+        assert counters.get("omv_queries") == 1
+        assert counters.get("omv_row_probes") == 1
+
+    def test_row_neighbors_with_restriction(self):
+        omv = OMvMatrix(6)
+        omv.update(2, 1, True)
+        omv.update(2, 4, True)
+        assert omv.row_neighbors(2) == [1, 4]
+        assert omv.row_neighbors(2, restrict=[4, 5]) == [4]
+
+    def test_from_graph_bipartite_cover(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        omv = OMvMatrix.from_graph_bipartite_cover(g)
+        for u, v in g.edges():
+            assert omv.get(u, v) and omv.get(v, u)
+        assert not omv.get(0, 0)
+
+
+class TestApproximateOMv:
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            ApproximateOMv(4, 1.0)
+
+    def test_buffers_then_flushes(self):
+        counters = Counters()
+        aomv = ApproximateOMv(10, lam=0.2, counters=counters)
+        # up to lam*n = 2 dirty rows may stay stale
+        aomv.update(0, 1, True)
+        aomv.update(1, 2, True)
+        v = np.zeros(10, dtype=bool)
+        v[1] = True
+        aomv.query(v)
+        # exceeding the budget forces a flush
+        aomv.update(2, 3, True)
+        aomv.update(3, 4, True)
+        result = aomv.query(v)
+        assert counters.get("omv_flushes") >= 1
+        assert result[0]  # the flushed entry is now visible
+
+    def test_force_flush(self):
+        aomv = ApproximateOMv(5, lam=0.5)
+        aomv.update(0, 1, True)
+        aomv.force_flush()
+        assert aomv.exact.get(0, 1)
+
+
+class TestOMvMatching:
+    def test_matches_hopcroft_karp_size_on_bipartite(self):
+        for seed in range(3):
+            g, left, right = random_bipartite(10, 12, 0.25, seed=seed)
+            omv = OMvMatrix(g.n)
+            for u, v in g.edges():
+                omv.update(u, v, True)
+                omv.update(v, u, True)
+            matching = maximal_matching_via_omv(omv, left, right)
+            # maximal matching: at least half of the optimum
+            opt = hopcroft_karp(g).size
+            assert 2 * len(matching) >= opt
+            used = set()
+            for u, v in matching:
+                assert u in set(left) and v in set(right)
+                assert g.has_edge(u, v)
+                assert u not in used and v not in used
+                used.update((u, v))
+
+    def test_empty_sides(self):
+        omv = OMvMatrix(4)
+        assert maximal_matching_via_omv(omv, [], [1]) == []
+        assert maximal_matching_via_omv(omv, [0], []) == []

@@ -1,0 +1,72 @@
+"""Tests for the ORS module (Definition 7.2 / Theorem 7.4 formulas)."""
+
+import math
+
+import pytest
+
+from repro.dynamic.ors import (
+    akk25_update_time,
+    ors_layered_graph,
+    ors_lower_bound_construction,
+    thm74_update_time,
+    verify_ors,
+)
+
+
+class TestConstructions:
+    def test_lower_bound_construction_is_valid_ors(self):
+        graph, matchings = ors_lower_bound_construction(40, 4)
+        assert len(matchings) == 5
+        assert all(len(m) == 4 for m in matchings)
+        assert verify_ors(graph, matchings)
+
+    def test_lower_bound_rejects_bad_r(self):
+        with pytest.raises(ValueError):
+            ors_lower_bound_construction(10, 0)
+
+    def test_layered_generator_reexported(self):
+        graph, matchings = ors_layered_graph(50, 4, 3, seed=1)
+        assert verify_ors(graph, matchings)
+
+
+class TestFormulas:
+    def test_thm74_polynomial_in_inverse_eps(self):
+        # for fixed k, halving eps multiplies the bound by a constant power
+        n, k, ors = 10 ** 4, 2, 10.0
+        t1 = thm74_update_time(n, 0.25, k, ors)
+        t2 = thm74_update_time(n, 0.125, k, ors)
+        t3 = thm74_update_time(n, 0.0625, k, ors)
+        assert t2 / t1 == pytest.approx(t3 / t2, rel=1e-9)  # constant ratio = polynomial
+
+    def test_akk25_exponential_in_inverse_eps(self):
+        n, k, ors = 10 ** 4, 2, 10.0
+        r1 = akk25_update_time(n, 0.25, k, ors) / thm74_update_time(n, 0.25, k, ors)
+        r2 = akk25_update_time(n, 0.125, k, ors) / thm74_update_time(n, 0.125, k, ors)
+        assert r2 > r1 * 10  # the gap blows up as eps shrinks
+
+    def test_improvement_direction(self):
+        # Theorem 7.4 never exceeds the AKK25 bound on the same parameters
+        for eps in (0.25, 0.125, 0.0625):
+            for k in (1, 2, 3):
+                ours = thm74_update_time(10 ** 5, eps, k, 50.0)
+                theirs = akk25_update_time(10 ** 5, eps, k, 50.0)
+                # the two coincide at k/eps = 4 up to float rounding, hence the slack
+                assert ours <= theirs * (1 + 1e-9)
+
+    def test_larger_k_trades_n_for_eps(self):
+        n, eps, ors = 10 ** 6, 0.25, 1.0
+        # raising k lowers the n exponent contribution
+        t_k1 = thm74_update_time(n, eps, 1, ors)
+        t_k3 = thm74_update_time(n, eps, 3, ors)
+        assert t_k3 < t_k1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            thm74_update_time(100, 1.5, 1, 1.0)
+        with pytest.raises(ValueError):
+            thm74_update_time(100, 0.25, 0, 1.0)
+        with pytest.raises(ValueError):
+            akk25_update_time(100, 0.0, 1, 1.0)
+
+    def test_akk25_overflow_guard(self):
+        assert math.isinf(akk25_update_time(10 ** 4, 0.001, 3, 1.0))

@@ -1,0 +1,102 @@
+"""Tests for Remark 1 of the paper: robustness of the framework to the oracle.
+
+Remark 1 states two properties of the Section 5 framework:
+
+1. it works even when the oracle's approximation factor ``c`` is worse than a
+   constant (e.g. a log n approximation) -- only the number of invocations
+   grows;
+2. every graph handed to the oracle has maximum degree at most ``(2/eps^3) D``
+   and arboricity at most ``(2/eps^3) L`` where ``D``/``L`` are the input
+   graph's maximum degree and arboricity (because the derived graphs contract
+   structures of poly(1/eps) vertices).
+
+Both are checked here with a recording oracle wrapper.
+"""
+
+import random
+from typing import List
+
+from repro.graph.generators import disjoint_paths, erdos_renyi
+from repro.graph.graph import Graph
+from repro.matching.blossom import maximum_matching_size
+from repro.matching.matching import Matching
+from repro.matching.verify import certify_approximation
+from repro.core.boosting import boost_matching
+from repro.core.oracles import MatchingOracle
+
+
+class WeakerOracle(MatchingOracle):
+    """A deliberately bad Theta(c)-approximate oracle: keeps only every
+    ``drop``-th edge of a greedy maximal matching (so c ~ 2 * drop)."""
+
+    name = "weakened-greedy"
+
+    def __init__(self, drop: int = 3, seed: int = 0) -> None:
+        self.drop = drop
+        self.c = 2.0 * drop
+        self._rng = random.Random(seed)
+
+    def find_matching(self, graph: Graph) -> List:
+        from repro.matching.greedy import random_greedy_matching
+
+        edges = random_greedy_matching(graph, seed=self._rng.randrange(2 ** 31)).edge_list()
+        kept = [e for i, e in enumerate(edges) if i % self.drop == 0]
+        return kept if kept or not edges else edges[:1]
+
+
+class RecordingOracle(MatchingOracle):
+    """Greedy oracle that records the max degree of every graph it is handed."""
+
+    c = 2.0
+    name = "recording-greedy"
+
+    def __init__(self) -> None:
+        self.max_degrees: List[int] = []
+
+    def find_matching(self, graph: Graph) -> List:
+        from repro.matching.greedy import greedy_maximal_matching
+
+        self.max_degrees.append(graph.max_degree())
+        return greedy_maximal_matching(graph).edge_list()
+
+
+class TestRemark1:
+    def test_framework_tolerates_much_weaker_oracle(self):
+        eps = 0.25
+        for seed in range(2):
+            g = erdos_renyi(50, 0.1, seed=seed)
+            oracle = WeakerOracle(drop=3, seed=seed)
+            m = boost_matching(g, eps, oracle=oracle, seed=seed)
+            m.validate(g)
+            ok, ratio = certify_approximation(g, m, eps)
+            assert ok, f"seed {seed}: ratio {ratio}"
+
+    def test_derived_graphs_have_bounded_degree(self):
+        # every derived graph's max degree is at most (2/eps^3) * D
+        eps = 0.25
+        for name, g in (("er", erdos_renyi(40, 0.1, seed=3)),
+                        ("paths", disjoint_paths(4, 7))):
+            oracle = RecordingOracle()
+            m = boost_matching(g, eps, oracle=oracle, seed=1)
+            m.validate(g)
+            input_degree = max(1, g.max_degree())
+            bound = (2.0 / eps ** 3) * input_degree
+            assert oracle.max_degrees, "oracle was never invoked"
+            assert max(oracle.max_degrees) <= bound, name
+
+    def test_weak_oracle_output_is_always_a_matching_of_the_derived_graph(self):
+        # defensive property: whatever the oracle returns, the framework only
+        # acts on witnesses that are still valid type-2/3 arcs, so the final
+        # matching is valid even for a sloppy oracle that returns non-maximal
+        # answers.
+        class SloppyOracle(MatchingOracle):
+            c = 4.0
+            name = "sloppy"
+
+            def find_matching(self, graph: Graph) -> List:
+                return graph.edge_list()[:1]  # at most one edge, never maximal
+
+        g = disjoint_paths(3, 5)
+        m = boost_matching(g, 0.25, oracle=SloppyOracle(), seed=2)
+        m.validate(g)
+        assert m.size <= maximum_matching_size(g)

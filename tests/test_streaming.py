@@ -1,0 +1,67 @@
+"""Tests for the [MMSS25] semi-streaming algorithm (repro.core.streaming)."""
+
+import pytest
+
+from repro.graph.generators import disjoint_paths, erdos_renyi
+from repro.graph.graph import Graph
+from repro.matching.blossom import maximum_matching_size
+from repro.matching.verify import certify_approximation
+from repro.instrumentation.counters import Counters
+from repro.core.config import ParameterProfile
+from repro.core.streaming import semi_streaming_matching
+
+
+class TestQuality:
+    def test_quarter_approximation_on_suite(self, medium_graphs):
+        eps = 0.25
+        for name, g in medium_graphs:
+            m = semi_streaming_matching(g, eps, seed=1)
+            m.validate(g)
+            ok, ratio = certify_approximation(g, m, eps)
+            assert ok, f"{name}: ratio {ratio}"
+
+    def test_eighth_approximation_on_hard_paths(self):
+        eps = 1 / 8
+        g = disjoint_paths(5, 9)
+        m = semi_streaming_matching(g, eps, seed=2, check_invariants=True)
+        ok, ratio = certify_approximation(g, m, eps)
+        assert ok, ratio
+
+    def test_small_graphs_exactly(self, small_graphs):
+        # with eps = 1/8 and tiny graphs the algorithm should be optimal
+        for name, g in small_graphs:
+            m = semi_streaming_matching(g, 1 / 8, seed=0, check_invariants=True)
+            m.validate(g)
+            assert m.size >= maximum_matching_size(g) * 8 / 9, name
+
+
+class TestMechanics:
+    def test_empty_graph(self):
+        m = semi_streaming_matching(Graph(5), 0.25)
+        assert m.size == 0
+
+    def test_counts_passes(self):
+        g = erdos_renyi(40, 0.1, seed=5)
+        counters = Counters()
+        semi_streaming_matching(g, 0.25, seed=1, counters=counters)
+        assert counters.get("passes") >= 3
+        assert counters.get("phases") >= 1
+
+    def test_respects_given_profile(self):
+        g = erdos_renyi(30, 0.1, seed=6)
+        profile = ParameterProfile.practical(0.25, max_phase_cap=2, max_bundle_cap=3)
+        counters = Counters()
+        semi_streaming_matching(g, 0.25, profile=profile, seed=1, counters=counters)
+        # per scale at most 2 phases, each with at most 3 pass-bundles
+        assert counters.get("pass_bundles") <= len(profile.scales) * 2 * 3
+
+    def test_deterministic_given_seed(self):
+        g = erdos_renyi(40, 0.1, seed=7)
+        a = semi_streaming_matching(g, 0.25, seed=11)
+        b = semi_streaming_matching(g, 0.25, seed=11)
+        assert a == b
+
+    def test_never_returns_invalid_matching(self, small_graphs):
+        for name, g in small_graphs:
+            m = semi_streaming_matching(g, 0.5, seed=3)
+            m.validate(g)

@@ -1,0 +1,83 @@
+"""Tests for the verification / certification utilities."""
+
+from repro.graph.generators import disjoint_paths, erdos_renyi, path_graph
+from repro.graph.graph import Graph
+from repro.matching.blossom import maximum_matching
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.matching import Matching
+from repro.matching.verify import (
+    approximation_ratio,
+    certify_approximation,
+    count_disjoint_augmenting_paths_upper_bound,
+    has_short_augmenting_path,
+    is_maximal,
+    is_valid_matching,
+)
+
+
+class TestValidity:
+    def test_valid_matching(self):
+        g = path_graph(4)
+        assert is_valid_matching(g, Matching(4, [(0, 1), (2, 3)]))
+        assert not is_valid_matching(g, Matching(4, [(0, 2)]))  # not a graph edge
+
+
+class TestApproximationRatio:
+    def test_exact_matching_has_ratio_one(self):
+        g = erdos_renyi(20, 0.2, seed=1)
+        m = maximum_matching(g)
+        assert approximation_ratio(g, m) == 1.0
+
+    def test_half_matching(self):
+        g = path_graph(4)
+        m = Matching(4, [(1, 2)])
+        assert approximation_ratio(g, m) == 2.0
+
+    def test_empty_graph_ratio_one(self):
+        assert approximation_ratio(Graph(3), Matching(3)) == 1.0
+
+    def test_empty_matching_infinite(self):
+        g = path_graph(4)
+        assert approximation_ratio(g, Matching(4)) == float("inf")
+
+    def test_certify(self):
+        g = path_graph(4)
+        ok, ratio = certify_approximation(g, Matching(4, [(0, 1), (2, 3)]), 0.1)
+        assert ok and ratio == 1.0
+        ok, ratio = certify_approximation(g, Matching(4, [(1, 2)]), 0.1)
+        assert not ok and ratio == 2.0
+
+
+class TestShortAugmentingPaths:
+    def test_detects_length_one(self):
+        g = path_graph(2)
+        assert has_short_augmenting_path(g, Matching(2), 1)
+
+    def test_detects_length_three(self):
+        g = path_graph(4)
+        m = Matching(4, [(1, 2)])
+        assert not has_short_augmenting_path(g, m, 1)
+        assert has_short_augmenting_path(g, m, 3)
+
+    def test_no_augmenting_path_in_maximum(self):
+        g = erdos_renyi(16, 0.3, seed=2)
+        m = maximum_matching(g)
+        assert not has_short_augmenting_path(g, m, 9)
+
+    def test_greedy_on_paths_has_short_path(self):
+        g = disjoint_paths(2, 5)
+        # match the middle edges only: augmenting paths of length 3 exist
+        m = Matching(g.n, [(1, 2), (7 + 0, 7 + 1)])
+        assert has_short_augmenting_path(g, m, 5)
+
+
+class TestBergeBound:
+    def test_augmenting_path_count(self):
+        g = disjoint_paths(3, 3)
+        m = Matching(g.n)  # empty matching, optimum is 2 per path
+        assert count_disjoint_augmenting_paths_upper_bound(g, m) == 6
+
+    def test_maximality_check(self):
+        g = path_graph(4)
+        assert is_maximal(g, Matching(4, [(1, 2)]))
+        assert not is_maximal(g, Matching(4))

@@ -1,0 +1,89 @@
+"""Unit tests for the dynamic workload generators."""
+
+from repro.graph.dynamic_graph import DynamicGraph, Update
+from repro.graph.workloads import (
+    adversarial_matched_edge_deletions,
+    insertion_only,
+    ors_reveal,
+    planted_matching_churn,
+    sliding_window,
+)
+
+
+class TestInsertionOnly:
+    def test_counts_and_kinds(self):
+        updates = insertion_only(20, 30, seed=1)
+        assert len(updates) == 30
+        assert all(u.kind == Update.INSERT for u in updates)
+
+    def test_no_duplicate_insertions(self):
+        updates = insertion_only(10, 40, seed=2)
+        edges = [(u.u, u.v) for u in updates]
+        assert len(edges) == len(set(edges))
+
+    def test_applies_cleanly(self):
+        updates = insertion_only(15, 25, seed=3)
+        dg = DynamicGraph(15)
+        changed = dg.apply_all(updates)
+        assert changed == 25
+
+
+class TestSlidingWindow:
+    def test_length_and_window_bound(self):
+        updates = sliding_window(20, 100, window=10, seed=4)
+        assert len(updates) == 100
+        dg = DynamicGraph(20)
+        for upd in updates:
+            dg.apply(upd)
+            assert dg.m <= 10
+
+    def test_deletions_follow_insertions(self):
+        updates = sliding_window(10, 60, window=5, seed=5)
+        dg = DynamicGraph(10)
+        for upd in updates:
+            if upd.kind == Update.DELETE:
+                assert dg.graph.has_edge(upd.u, upd.v)
+            dg.apply(upd)
+
+
+class TestPlantedChurn:
+    def test_matching_stays_large(self):
+        from repro.matching.blossom import maximum_matching_size
+
+        n, updates = planted_matching_churn(12, rounds=4, seed=6)
+        dg = DynamicGraph(n)
+        dg.apply_all(updates)
+        # after all churn rounds the planted matching is restored
+        assert maximum_matching_size(dg.graph) == 12
+
+
+class TestOrsReveal:
+    def test_reveal_then_remove(self):
+        n, updates = ors_reveal(40, 4, 3, seed=7)
+        dg = DynamicGraph(n)
+        dg.apply_all(updates)
+        assert dg.m == 0  # everything inserted is deleted again
+        assert dg.max_edges_seen > 0
+
+
+class TestAdversarial:
+    def test_targets_current_matching(self):
+        from repro.matching.matching import Matching
+
+        matching = Matching(10, [(0, 1), (2, 3)])
+        n, next_update = adversarial_matched_edge_deletions(
+            5, rounds=5, current_matching=matching.edge_list, seed=8)
+        assert n == 10
+        upd = next_update()
+        assert upd is not None
+        if upd.kind == Update.DELETE:
+            assert matching.contains_edge(upd.u, upd.v)
+
+    def test_terminates(self):
+        from repro.matching.matching import Matching
+
+        matching = Matching(10, [(0, 1)])
+        _, next_update = adversarial_matched_edge_deletions(
+            5, rounds=3, current_matching=matching.edge_list, seed=9)
+        pulls = [next_update() for _ in range(10)]
+        assert any(p is None for p in pulls)

@@ -24,21 +24,33 @@ EPS_SWEEP = (0.5, 0.25, 0.125)
 EPS_SWEEP_SMALL = (0.5, 0.25)
 
 
+def smoke_mode() -> bool:
+    """Whether benchmarks should run their seconds-scale smoke configuration.
+
+    Set ``REPRO_BENCH_SMOKE=1`` (tier-1 test runs do) to shrink workloads so a
+    benchmark module executes in a few seconds instead of minutes.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
 def boosting_workload(seed: int = 0, er_n: int = 80, er_p: float = 0.05,
-                      num_paths: int = 4, path_len: int = 9):
+                      num_paths: int = 4, path_len: int = 9,
+                      backend: str = "adjset"):
     """The standard Table 1 workload: a sparse random graph plus disjoint long
     paths (the paths force augmenting paths of length up to ``path_len``, the
-    regime where boosting beyond a maximal matching actually matters)."""
+    regime where boosting beyond a maximal matching actually matters).
+
+    ``backend`` selects the graph storage backend (``"adjset"`` / ``"csr"``);
+    the edge set is identical on every backend for a given seed.
+    """
     from repro.graph.generators import disjoint_paths, erdos_renyi
     from repro.graph.graph import Graph
 
     er = erdos_renyi(er_n, er_p, seed=seed)
     paths = disjoint_paths(num_paths, path_len)
-    g = Graph(er.n + paths.n)
-    for u, v in er.edges():
-        g.add_edge(u, v)
-    for u, v in paths.edges():
-        g.add_edge(er.n + u, er.n + v)
+    g = Graph(er.n + paths.n, backend=backend)
+    g.add_edges(er.edges())
+    g.add_edges((er.n + u, er.n + v) for u, v in paths.edges())
     return g
 
 

@@ -1,0 +1,120 @@
+"""Backend comparison: adjacency-set vs CSR/NumPy on generator workloads.
+
+The pluggable-backend refactor is justified by throughput, so this module
+measures it head-to-head.  For each workload the *same* edge set is pushed
+through both backends and the phases the matching layer actually exercises
+are timed separately:
+
+* ``construct`` -- bulk edge insertion (``Graph.add_edges``),
+* ``greedy``    -- greedy maximal matching (edge-list export + selection),
+* ``induce``    -- induced-subgraph extraction on a random 25% vertex subset,
+* ``matrix``    -- boolean adjacency-matrix export (the OMv substrate load).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_backends.py``) for the
+full sweep, ``--smoke`` (or ``REPRO_BENCH_SMOKE=1``) for a seconds-scale
+configuration; the tier-1 suite runs the smoke mode via
+``tests/test_backends.py``.  The headline acceptance number is the total
+(construct + greedy) speedup on the 100k-edge uniform random workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from typing import Dict, List, Tuple
+
+from repro.graph.generators import random_edge_list
+from repro.graph.graph import Graph
+from repro.instrumentation.reporting import Table
+from repro.matching.greedy import greedy_maximal_matching
+
+from _common import emit, smoke_mode
+
+BACKEND_NAMES = ("adjset", "csr")
+
+#: (label, n, m) generator workloads for the full sweep
+WORKLOADS = (
+    ("uniform-10k", 4_000, 10_000),
+    ("uniform-100k", 40_000, 100_000),
+    ("dense-100k", 1_000, 100_000),
+)
+
+SMOKE_WORKLOADS = (
+    ("uniform-5k", 2_000, 5_000),
+)
+
+
+def time_backend(backend: str, n: int, edges: List[Tuple[int, int]],
+                 seed: int = 0) -> Dict[str, float]:
+    """Time the four phases on one backend; returns seconds per phase."""
+    rng = random.Random(seed)
+    subset = rng.sample(range(n), max(2, n // 4))
+
+    t0 = time.perf_counter()
+    g = Graph(n, backend=backend)
+    g.add_edges(edges)
+    t1 = time.perf_counter()
+    matching = greedy_maximal_matching(g)
+    t2 = time.perf_counter()
+    g.induced_subgraph(subset)
+    t3 = time.perf_counter()
+    # The dense matrix is O(n^2) memory; only export it where that is sane.
+    if n <= 5_000:
+        g.adjacency_matrix()
+    t4 = time.perf_counter()
+
+    return {
+        "construct": t1 - t0,
+        "greedy": t2 - t1,
+        "induce": t3 - t2,
+        "matrix": (t4 - t3) if n <= 5_000 else float("nan"),
+        "total": t2 - t0,  # the acceptance-criterion quantity
+        "matching_size": matching.size,
+    }
+
+
+def run_comparison(smoke: bool = False, seed: int = 0) -> Tuple[Table, Dict[str, float]]:
+    """Sweep the workloads; returns the table and per-workload total speedups."""
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    table = Table(
+        "Graph backends: adjacency-set vs CSR/NumPy (seconds per phase)",
+        ["workload", "backend", "construct", "greedy", "induce", "matrix",
+         "construct+greedy", "speedup"])
+    speedups: Dict[str, float] = {}
+    for label, n, m in workloads:
+        edges = random_edge_list(n, m, seed=seed)
+        results = {b: time_backend(b, n, edges, seed=seed) for b in BACKEND_NAMES}
+        # Default greedy scans each backend's native edge order, so the two
+        # (both maximal) matchings may differ slightly in size; exact
+        # fixed-seed parity is covered by tests/test_backends.py.  Guard
+        # against real bugs with a 2-approximation-style sanity band.
+        sizes = [results[b]["matching_size"] for b in BACKEND_NAMES]
+        assert min(sizes) * 2 >= max(sizes), f"greedy sizes implausible: {sizes}"
+        base = results["adjset"]["total"]
+        for backend in BACKEND_NAMES:
+            r = results[backend]
+            speedup = base / r["total"] if r["total"] > 0 else float("inf")
+            table.add_row(label, backend, f"{r['construct']:.4f}",
+                          f"{r['greedy']:.4f}", f"{r['induce']:.4f}",
+                          f"{r['matrix']:.4f}", f"{r['total']:.4f}",
+                          f"{speedup:.2f}x")
+            if backend == "csr":
+                speedups[label] = speedup
+    return table, speedups
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale configuration (also REPRO_BENCH_SMOKE=1)")
+    args = parser.parse_args(argv)
+    smoke = args.smoke or smoke_mode()
+    table, speedups = run_comparison(smoke=smoke)
+    emit(table, "backends_smoke.txt" if smoke else "backends.txt")
+    for label, speedup in speedups.items():
+        print(f"csr total speedup on {label}: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

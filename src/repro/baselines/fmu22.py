@@ -72,7 +72,7 @@ def _build_all_type3_graph(state: PhaseState) -> Tuple[Graph, Dict[Edge, Edge], 
     for node in left_nodes:
         i = left_index[id(node)]
         for x in node.vertices:
-            for y in state.graph.neighbors(x):
+            for y in state.graph.neighbor_list(x):
                 if y in right_set and state.arc_type(x, y) == 3:
                     key = (i, right_index[y])
                     if derived.add_edge(*key):

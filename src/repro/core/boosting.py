@@ -109,7 +109,7 @@ def build_stage_graph(state: PhaseState, stage: int) -> Tuple[Graph, Dict[Edge, 
     for node in left_nodes:
         i = left_index[id(node)]
         for x in node.vertices:
-            for y in state.graph.neighbors(x):
+            for y in state.graph.neighbor_list(x):
                 if y not in right_set:
                     continue
                 if state.arc_type(x, y) != 3:
@@ -252,6 +252,10 @@ class BoostingFramework:
     # -- Theorem 1.1 ---------------------------------------------------------
     def run(self, graph: Graph, initial: Optional[Matching] = None) -> Matching:
         """Boost to a (1+eps)-approximate maximum matching of ``graph``."""
+        # Honour the profile's backend selector (no-op when backend=None or
+        # the input already matches; matchings transfer between
+        # representations because vertex ids are preserved).
+        graph = self.profile.resolve_graph(graph)
         matching = initial.copy() if initial is not None else self.initial_matching(graph)
         driver = OracleDriver(self.oracle, self.profile, rng=self.rng)
         for h in self.profile.scales:

@@ -117,7 +117,7 @@ class SamplingOracleDriver:
             for x in list(w.vertices):
                 if done:
                     break
-                for y in state.graph.neighbors(x):
+                for y in state.graph.neighbor_list(x):
                     node_y = state.omega(y)
                     if node_y is None or node_y.structure is not structure:
                         continue

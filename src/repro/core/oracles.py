@@ -67,7 +67,9 @@ class RandomGreedyMatchingOracle(MatchingOracle):
         self._rng = random.Random(seed)
 
     def find_matching(self, graph: Graph) -> List[Edge]:
-        return random_greedy_matching(graph, seed=self._rng.randrange(2 ** 31)).edge_list()
+        # Thread the oracle's own Random instance through: one seed at
+        # construction reproduces the whole invocation sequence.
+        return random_greedy_matching(graph, rng=self._rng).edge_list()
 
 
 class ExactMatchingOracle(MatchingOracle):
@@ -160,7 +162,7 @@ class WeakOracle(ABC):
         for u in left_set:
             if u in matched_left:
                 continue
-            for v in self.graph.neighbors(u):
+            for v in self.graph.neighbor_list(u):
                 if v in right_set and v not in matched_right:
                     matched_left.add(u)
                     matched_right.add(v)

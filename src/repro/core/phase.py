@@ -102,7 +102,7 @@ def contract_pass(state: PhaseState) -> int:
             for x in w.vertices:
                 if found:
                     break
-                for y in state.graph.neighbors(x):
+                for y in state.graph.neighbor_list(x):
                     if state.removed[y]:
                         continue
                     ny = state.node_of[y]
@@ -126,7 +126,7 @@ def augment_pass(state: PhaseState) -> int:
     Returns the number of augmentations performed.
     """
     total = 0
-    for u, v in state.graph.edges():
+    for u, v in state.graph.edge_list():
         if state.removed[u] or state.removed[v]:
             continue
         nu, nv = state.node_of[u], state.node_of[v]
@@ -184,7 +184,7 @@ class DirectDriver:
         self.shuffle = shuffle
 
     def _arc_stream(self, state: PhaseState) -> List[Edge]:
-        arcs = list(state.graph.arcs())
+        arcs = state.graph.arc_list()
         if self.shuffle:
             self.rng.shuffle(arcs)
         return arcs

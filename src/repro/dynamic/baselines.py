@@ -74,7 +74,7 @@ class LazyGreedyDynamic(DynamicMatchingAlgorithm):
                     self.counters.add("update_work", graph.degree(x) + 1)
                     if not self._matching.is_free(x):
                         continue
-                    for y in graph.neighbors(x):
+                    for y in graph.neighbor_list(x):
                         if self._matching.is_free(y):
                             self._matching.add(x, y)
                             break

@@ -44,8 +44,8 @@ class GreedyInducedWeakOracle(WeakOracle):
         self._rng = random.Random(seed)
 
     def query(self, subset: Sequence[int], delta: float) -> Optional[List[Edge]]:
-        edges = greedy_on_vertex_subset(self.graph, subset,
-                                        seed=self._rng.randrange(2 ** 31))
+        # Thread the oracle's own Random instance through (reproducible runs).
+        edges = greedy_on_vertex_subset(self.graph, subset, rng=self._rng)
         return edges if edges else None
 
 

@@ -15,8 +15,19 @@ substrates operate on:
   induced matchings).
 * :mod:`~repro.graph.workloads` -- dynamic update-sequence generators used by
   the dynamic benchmarks.
+* :mod:`~repro.graph.backends` -- pluggable storage backends behind
+  :class:`Graph`: the default adjacency-set layout (``"adjset"``) and a
+  NumPy/CSR layout (``"csr"``) with vectorized bulk operations.
 """
 
+from repro.graph.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    AdjacencySetBackend,
+    CSRBackend,
+    GraphBackend,
+    make_backend,
+)
 from repro.graph.graph import Graph
 from repro.graph.dynamic_graph import DynamicGraph, Update
 from repro.graph.bipartite import BipartiteDoubleCover, is_bipartite, bipartition
@@ -28,4 +39,10 @@ __all__ = [
     "BipartiteDoubleCover",
     "is_bipartite",
     "bipartition",
+    "GraphBackend",
+    "AdjacencySetBackend",
+    "CSRBackend",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "make_backend",
 ]

@@ -1,0 +1,543 @@
+"""Pluggable storage backends for :class:`~repro.graph.graph.Graph`.
+
+Every layer of the reproduction -- the semi-streaming pass, the Section 5/6
+boosting frameworks, the MPC/CONGEST substrates and the dynamic algorithms --
+funnels through one graph container, so its storage layout is the throughput
+ceiling of the whole system.  This module splits the *storage* out of
+:class:`Graph` behind a small :class:`GraphBackend` protocol with two
+implementations:
+
+* :class:`AdjacencySetBackend` (``"adjset"``, the default) -- the original
+  adjacency-set-per-vertex layout.  O(1) membership tests, cheap single-edge
+  mutation, no third-party dependencies; behaviour (including iteration
+  orders) is identical to the pre-backend code.
+* :class:`CSRBackend` (``"csr"``) -- a NumPy-backed layout: a hash index of
+  canonical edge keys for O(1) membership plus a lazily compiled CSR
+  (``indptr``/``indices``) view used for vectorized neighbour iteration,
+  degree queries, bulk edge insertion/removal, edge-array export and the
+  boolean adjacency-matrix export consumed by the OMv substrate.  It wins on
+  bulk construction and whole-graph scans (edge lists, induced subgraphs,
+  matrix export); see ARCHITECTURE.md for guidance.
+
+Backends are selected by name (``Graph(n, backend="csr")``); algorithm code
+stays representation-agnostic and talks to :class:`Graph`, which delegates.
+The bulk primitives (:meth:`GraphBackend.add_edges`,
+:meth:`GraphBackend.remove_edges`, :meth:`GraphBackend.induced_edges`,
+:meth:`GraphBackend.edge_list`) are the hooks the hot paths use; they have
+straightforward per-edge reference implementations on the adjacency-set
+backend and vectorized ones on CSR.
+
+NumPy is an optional dependency: the ``"csr"`` backend and the adjacency
+matrix export raise a clear error when it is missing instead of failing with
+a bare ``ImportError`` mid-algorithm.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import chain
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type, Union
+
+try:  # NumPy is optional; only the CSR backend and matrix export need it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None  # type: ignore[assignment]
+
+Edge = Tuple[int, int]
+
+
+def require_numpy(feature: str):
+    """Return the numpy module or raise a clear error naming ``feature``."""
+    if _np is None:  # pragma: no cover - numpy is present in CI
+        raise RuntimeError(
+            f"{feature} requires NumPy, which is not installed; "
+            "install numpy or use the 'adjset' graph backend")
+    return _np
+
+
+def edge_endpoint_arrays(edges: Iterable[Edge]):
+    """Flatten an edge iterable into endpoint arrays ``(u, v)`` (int64).
+
+    The shared fast path for bulk edge consumers (CSR key canonicalisation,
+    the vectorized greedy, the OMv matrix load): ``np.fromiter`` over a
+    flattened chain converts a 100k-pair list several times faster than
+    ``np.asarray`` on the list of tuples; array-likes pass through
+    ``asarray`` with a shape check.
+    """
+    np = require_numpy("bulk edge conversion")
+    if hasattr(edges, "__array__"):
+        pairs = np.asarray(edges, dtype=np.int64)
+        if pairs.size and (pairs.ndim != 2 or pairs.shape[1] != 2):
+            raise ValueError("edges must be (u, v) pairs")
+        flat = pairs.reshape(-1)
+    else:
+        if not isinstance(edges, (list, tuple)):
+            edges = list(edges)
+        flat = np.fromiter(chain.from_iterable(edges), dtype=np.int64,
+                           count=2 * len(edges))
+    return flat[0::2], flat[1::2]
+
+
+class GraphBackend(ABC):
+    """Storage protocol for an undirected simple graph on ``0..n-1``.
+
+    Backends own the representation *and* the edge-level validation (range
+    checks, self-loop rejection) so that bulk operations can validate
+    vectorized instead of per edge.  All mutators report how many edges
+    actually changed, mirroring :meth:`Graph.add_edge`'s boolean.
+    """
+
+    #: registry name, e.g. ``"adjset"`` / ``"csr"``
+    name: str = "backend"
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of vertices."""
+
+    @property
+    @abstractmethod
+    def m(self) -> int:
+        """Number of edges."""
+
+    # ------------------------------------------------------------ single edge
+    @abstractmethod
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert ``{u, v}``; return whether the edge is new."""
+
+    @abstractmethod
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete ``{u, v}``; return whether the edge existed."""
+
+    @abstractmethod
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test (``False`` for out-of-range endpoints)."""
+
+    # ------------------------------------------------------------------ reads
+    @abstractmethod
+    def neighbors(self, v: int) -> Set[int]:
+        """The adjacency set of ``v`` (treat as read-only)."""
+
+    @abstractmethod
+    def neighbor_list(self, v: int) -> Sequence[int]:
+        """Neighbours of ``v`` as a cheap-to-iterate sequence (fast path)."""
+
+    @abstractmethod
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+
+    @abstractmethod
+    def max_degree(self) -> int:
+        """Maximum degree (0 for an empty graph)."""
+
+    @abstractmethod
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over canonical ``(u, v)`` pairs with ``u < v``."""
+
+    def edge_list(self) -> List[Edge]:
+        """Materialised :meth:`edges` (vectorized on array backends)."""
+        return list(self.edges())
+
+    def arcs(self) -> Iterator[Edge]:
+        """Both orientations of every edge."""
+        for u, v in self.edges():
+            yield (u, v)
+            yield (v, u)
+
+    def arc_list(self) -> List[Edge]:
+        """Materialised :meth:`arcs`."""
+        return list(self.arcs())
+
+    # ------------------------------------------------------------------- bulk
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Insert many edges in one call; return how many were new."""
+        return sum(1 for u, v in edges if self.add_edge(u, v))
+
+    def remove_edges(self, edges: Iterable[Edge]) -> int:
+        """Delete many edges in one call; return how many existed."""
+        return sum(1 for u, v in edges if self.remove_edge(u, v))
+
+    @abstractmethod
+    def induced_edges(self, vertices) -> List[Edge]:
+        """Edges of ``G[S]`` in the original labelling.
+
+        ``S`` is a duplicate-free collection of valid vertex ids (a sequence
+        or a set; implementations must not assume an order beyond iterating
+        it once)."""
+
+    # --------------------------------------------------------------- numerics
+    def adjacency_matrix(self):
+        """Dense boolean adjacency matrix (requires NumPy)."""
+        np = require_numpy("Graph.adjacency_matrix")
+        mat = np.zeros((self.n, self.n), dtype=bool)
+        for u, v in self.edges():
+            mat[u, v] = True
+            mat[v, u] = True
+        return mat
+
+    @abstractmethod
+    def copy(self) -> "GraphBackend":
+        """Independent deep copy."""
+
+    # ------------------------------------------------------------- validation
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise ValueError(f"vertex {v} out of range [0, {self.n})")
+
+    def _check_edge(self, u: int, v: int) -> None:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop ({u}, {v}) not allowed in a simple graph")
+
+
+class AdjacencySetBackend(GraphBackend):
+    """The original adjacency-set-per-vertex storage (default backend).
+
+    Kept byte-for-byte behaviour compatible with the pre-backend ``Graph``:
+    same validation messages, same edge iteration order (per-vertex set
+    order), so seeded downstream algorithms are unaffected by the refactor.
+    """
+
+    name = "adjset"
+    __slots__ = ("_n", "_adj", "_m")
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._adj: List[Set[int]] = [set() for _ in range(n)]
+        self._m = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def add_edge(self, u: int, v: int) -> bool:
+        self._check_edge(u, v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return v in self._adj[u]
+
+    def neighbors(self, v: int) -> Set[int]:
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def neighbor_list(self, v: int) -> Sequence[int]:
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        if self._n == 0:
+            return 0
+        return max(len(a) for a in self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def arcs(self) -> Iterator[Edge]:
+        for u in range(self._n):
+            for v in self._adj[u]:
+                yield (u, v)
+
+    def induced_edges(self, vertices) -> List[Edge]:
+        index = vertices if isinstance(vertices, (set, frozenset)) else set(vertices)
+        out: List[Edge] = []
+        for u in vertices:
+            for v in self._adj[u]:
+                if u < v and v in index:
+                    out.append((u, v))
+        return out
+
+    def copy(self) -> "AdjacencySetBackend":
+        clone = AdjacencySetBackend.__new__(AdjacencySetBackend)
+        clone._n = self._n
+        clone._adj = [set(a) for a in self._adj]
+        clone._m = self._m
+        return clone
+
+
+class CSRBackend(GraphBackend):
+    """CSR/NumPy storage: hash index of edge keys + lazily compiled CSR view.
+
+    * Mutations update a plain Python set of canonical edge keys
+      ``u * n + v`` (``u < v``), giving exact O(1) membership/dedup semantics.
+    * Reads that benefit from contiguity (neighbour iteration, degrees, edge
+      arrays, induced subgraphs, the adjacency matrix) compile the key set
+      into sorted CSR arrays on demand; the compiled view is cached until the
+      next mutation.
+
+    Bulk mutation (:meth:`add_edges` / :meth:`remove_edges`) is vectorized:
+    canonicalisation, validation and deduplication happen on int64 arrays, so
+    constructing a 100k-edge graph costs a few numpy passes instead of 100k
+    Python-level ``add_edge`` calls.
+    """
+
+    name = "csr"
+    __slots__ = ("_n", "_keys", "_dirty", "_indptr", "_indices", "_sorted_keys")
+
+    def __init__(self, n: int) -> None:
+        require_numpy("the 'csr' graph backend")
+        self._n = n
+        self._keys: Set[int] = set()
+        self._dirty = True
+        self._indptr = None
+        self._indices = None
+        self._sorted_keys = None
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def m(self) -> int:
+        return len(self._keys)
+
+    # ------------------------------------------------------------------- keys
+    def _key(self, u: int, v: int) -> int:
+        return u * self._n + v if u < v else v * self._n + u
+
+    def _compile_keys(self):
+        """Sorted canonical-key array (cheap; no CSR build)."""
+        if self._dirty or self._sorted_keys is None:
+            keys = _np.fromiter(self._keys, dtype=_np.int64, count=len(self._keys))
+            keys.sort()
+            self._sorted_keys = keys
+            self._indptr = None  # CSR view is stale; rebuilt on demand
+            self._indices = None
+            self._dirty = False
+        return self._sorted_keys
+
+    def _compile(self) -> None:
+        """Rebuild the CSR arrays (both edge orientations) from the key set."""
+        keys = self._compile_keys()
+        if self._indptr is not None:
+            return
+        np = _np
+        n = self._n
+        if n == 0 or keys.size == 0:
+            self._indptr = np.zeros(n + 1, dtype=np.int64)
+            self._indices = np.zeros(0, dtype=np.int64)
+            return
+        u = keys // n
+        v = keys % n
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._indptr = indptr
+        self._indices = dst
+
+    def _edge_arrays(self):
+        """Canonical ``(u, v)`` arrays with ``u < v``, sorted by key."""
+        keys = self._compile_keys()
+        if self._n == 0 or keys.size == 0:
+            empty = _np.zeros(0, dtype=_np.int64)
+            return empty, empty
+        return keys // self._n, keys % self._n
+
+    # ------------------------------------------------------------ single edge
+    def add_edge(self, u: int, v: int) -> bool:
+        self._check_edge(u, v)
+        key = self._key(u, v)
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self._dirty = True
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        key = self._key(u, v)
+        if key not in self._keys:
+            return False
+        self._keys.discard(key)
+        self._dirty = True
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < self._n and 0 <= v < self._n) or u == v:
+            return False
+        return self._key(u, v) in self._keys
+
+    # ------------------------------------------------------------------- bulk
+    def _canonical_keys(self, edges: Iterable[Edge]):
+        """Validate and canonicalise an edge iterable into an int64 key array."""
+        np = _np
+        u, v = edge_endpoint_arrays(edges)
+        if u.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        bad = (u < 0) | (u >= self._n) | (v < 0) | (v >= self._n)
+        if bad.any():
+            i = int(np.argmax(bad))
+            w = int(u[i]) if not 0 <= u[i] < self._n else int(v[i])
+            raise ValueError(f"vertex {w} out of range [0, {self._n})")
+        loops = u == v
+        if loops.any():
+            i = int(np.argmax(loops))
+            raise ValueError(
+                f"self-loop ({int(u[i])}, {int(v[i])}) not allowed in a simple graph")
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        return lo * self._n + hi
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        keys = self._canonical_keys(edges)
+        if keys.size == 0:
+            return 0
+        before = len(self._keys)
+        self._keys.update(_np.unique(keys).tolist())
+        added = len(self._keys) - before
+        if added:
+            self._dirty = True
+        return added
+
+    def remove_edges(self, edges: Iterable[Edge]) -> int:
+        keys = self._canonical_keys(edges)
+        if keys.size == 0:
+            return 0
+        before = len(self._keys)
+        self._keys.difference_update(_np.unique(keys).tolist())
+        removed = before - len(self._keys)
+        if removed:
+            self._dirty = True
+        return removed
+
+    # ------------------------------------------------------------------ reads
+    def neighbors(self, v: int) -> Set[int]:
+        return set(self.neighbor_list(v))
+
+    def neighbor_list(self, v: int) -> Sequence[int]:
+        self._check_vertex(v)
+        self._compile()
+        return self._indices[self._indptr[v]:self._indptr[v + 1]].tolist()
+
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        self._compile()
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degree_array(self):
+        """All degrees as an int64 array (CSR-only vectorized read)."""
+        self._compile()
+        return _np.diff(self._indptr)
+
+    def max_degree(self) -> int:
+        if self._n == 0 or not self._keys:
+            return 0
+        return int(self.degree_array().max())
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self.edge_list())
+
+    def edge_list(self) -> List[Edge]:
+        u, v = self._edge_arrays()
+        return list(zip(u.tolist(), v.tolist()))
+
+    def arcs(self) -> Iterator[Edge]:
+        return iter(self.arc_list())
+
+    def arc_list(self) -> List[Edge]:
+        self._compile()
+        src = _np.repeat(_np.arange(self._n, dtype=_np.int64),
+                         _np.diff(self._indptr))
+        return list(zip(src.tolist(), self._indices.tolist()))
+
+    def induced_edges(self, vertices) -> List[Edge]:
+        u, v = self._edge_arrays()
+        if u.size == 0:
+            return []
+        mask = _np.zeros(self._n, dtype=bool)
+        mask[list(vertices)] = True
+        sel = mask[u] & mask[v]
+        return list(zip(u[sel].tolist(), v[sel].tolist()))
+
+    # --------------------------------------------------------------- numerics
+    def adjacency_matrix(self):
+        np = require_numpy("Graph.adjacency_matrix")
+        mat = np.zeros((self._n, self._n), dtype=bool)
+        u, v = self._edge_arrays()
+        mat[u, v] = True
+        mat[v, u] = True
+        return mat
+
+    def copy(self) -> "CSRBackend":
+        clone = CSRBackend.__new__(CSRBackend)
+        clone._n = self._n
+        clone._keys = set(self._keys)
+        clone._dirty = self._dirty
+        # compiled arrays are only ever replaced wholesale, never mutated in
+        # place, so the clone can share them until either side recompiles
+        clone._indptr = self._indptr
+        clone._indices = self._indices
+        clone._sorted_keys = self._sorted_keys
+        return clone
+
+
+#: registry of selectable backends
+BACKENDS: Dict[str, Type[GraphBackend]] = {
+    AdjacencySetBackend.name: AdjacencySetBackend,
+    CSRBackend.name: CSRBackend,
+}
+
+#: the default backend used when none is requested
+DEFAULT_BACKEND = AdjacencySetBackend.name
+
+BackendSpec = Union[None, str, GraphBackend]
+
+
+def make_backend(spec: BackendSpec, n: int) -> GraphBackend:
+    """Resolve a backend spec (name, instance or ``None``) for ``n`` vertices.
+
+    A :class:`GraphBackend` instance is *copied*: two graphs constructed from
+    the same instance must not silently alias mutable storage.
+    """
+    if spec is None:
+        spec = DEFAULT_BACKEND
+    if isinstance(spec, GraphBackend):
+        if spec.n != n:
+            raise ValueError(
+                f"backend instance is sized for n={spec.n}, graph wants n={n}")
+        return spec.copy()
+    try:
+        cls = BACKENDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph backend {spec!r}; available: {sorted(BACKENDS)}") from None
+    return cls(n)

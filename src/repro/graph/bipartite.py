@@ -30,7 +30,7 @@ def is_bipartite(graph: Graph) -> bool:
         queue = [start]
         while queue:
             u = queue.pop()
-            for v in graph.neighbors(u):
+            for v in graph.neighbor_list(u):
                 if colour[v] == -1:
                     colour[v] = 1 - colour[u]
                     queue.append(v)
@@ -49,7 +49,7 @@ def bipartition(graph: Graph) -> Optional[Tuple[List[int], List[int]]]:
         queue = [start]
         while queue:
             u = queue.pop()
-            for v in graph.neighbors(u):
+            for v in graph.neighbor_list(u):
                 if colour[v] == -1:
                     colour[v] = 1 - colour[u]
                     queue.append(v)
@@ -117,15 +117,17 @@ class BipartiteDoubleCover:
         """
         uniq = list(dict.fromkeys(b_vertices))
         index = {b: i for i, b in enumerate(uniq)}
-        sub = Graph(len(uniq))
+        sub = Graph(len(uniq), backend=self._graph.backend_name)
         outer = [b for b in uniq if self.is_outer_copy(b)]
         inner_set: Set[int] = {b for b in uniq if not self.is_outer_copy(b)}
+        sub_edges = []
         for b_out in outer:
             u = self.base_vertex(b_out)
-            for w in self._graph.neighbors(u):
+            for w in self._graph.neighbor_list(u):
                 b_in = self.inner_copy(w)
                 if b_in in inner_set:
-                    sub.add_edge(index[b_out], index[b_in])
+                    sub_edges.append((index[b_out], index[b_in]))
+        sub.add_edges(sub_edges)
         return sub, {i: b for b, i in index.items()}
 
     def project_matching(self, b_matching: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:

@@ -15,7 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.graph.backends import BackendSpec
 from repro.graph.graph import Graph, normalize_edge
+
+Edge = Tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -63,10 +66,16 @@ class DynamicGraph:
     The graph starts empty (Problem 1).  ``apply`` mutates the snapshot and
     records the update; ``max_edges_seen`` tracks the parameter ``m`` of the
     paper (the maximum number of edges ever present).
+
+    ``backend`` selects the snapshot's storage backend (``"adjset"`` /
+    ``"csr"``); batched entry points (:meth:`apply_all`, :meth:`insert_edges`,
+    :meth:`delete_edges`) group consecutive same-kind updates and hand each
+    run to the backend's bulk primitive in one call, so array-backed backends
+    do not pay per-edge Python overhead for workload replay.
     """
 
-    def __init__(self, n: int) -> None:
-        self._graph = Graph(n)
+    def __init__(self, n: int, backend: BackendSpec = None) -> None:
+        self._graph = Graph(n, backend=backend)
         self._log: List[Update] = []
         self._max_edges = 0
 
@@ -116,9 +125,60 @@ class DynamicGraph:
     def delete(self, u: int, v: int) -> bool:
         return self.apply(Update.delete(u, v))
 
+    @staticmethod
+    def _grouped_runs(updates: Sequence[Update]) -> Iterator[Tuple[str, List[Update]]]:
+        """Yield maximal runs of consecutive same-kind updates."""
+        i = 0
+        total = len(updates)
+        while i < total:
+            kind = updates[i].kind
+            j = i
+            while j < total and updates[j].kind == kind:
+                j += 1
+            yield kind, list(updates[i:j])
+            i = j
+
+    def _check_updates(self, updates: Sequence[Update]) -> None:
+        """Validate every endpoint up front so a bad update cannot leave the
+        snapshot, log and ``max_edges_seen`` mutually inconsistent after a
+        partially applied bulk run."""
+        n = self.n
+        for upd in updates:
+            if upd.kind != Update.EMPTY and not (0 <= upd.u < n and 0 <= upd.v < n):
+                w = upd.u if not 0 <= upd.u < n else upd.v
+                raise ValueError(f"vertex {w} out of range [0, {n})")
+
     def apply_all(self, updates: Iterable[Update]) -> int:
-        """Apply a sequence of updates; returns how many changed the graph."""
-        return sum(1 for upd in updates if self.apply(upd))
+        """Apply a sequence of updates; returns how many changed the graph.
+
+        Consecutive updates of the same kind are applied through the
+        backend's bulk ``add_edges`` / ``remove_edges`` in a single call.
+        ``max_edges_seen`` is still tracked exactly: within a run of
+        insertions the edge count is maximal at the end of the run, and
+        within a run of deletions at its start, so checking after each run
+        observes every intermediate maximum.  The whole sequence is validated
+        before anything is applied, so a malformed update raises without
+        mutating the snapshot or the log.
+        """
+        updates = list(updates)
+        self._check_updates(updates)
+        changed = 0
+        for kind, run in self._grouped_runs(updates):
+            if kind == Update.INSERT:
+                changed += self._graph.add_edges((upd.u, upd.v) for upd in run)
+            elif kind == Update.DELETE:
+                changed += self._graph.remove_edges((upd.u, upd.v) for upd in run)
+            self._log.extend(run)
+            self._max_edges = max(self._max_edges, self._graph.m)
+        return changed
+
+    def insert_edges(self, edges: Iterable[Edge]) -> int:
+        """Batched insert: log one :class:`Update` per edge, mutate in bulk."""
+        return self.apply_all(Update.insert(u, v) for u, v in edges)
+
+    def delete_edges(self, edges: Iterable[Edge]) -> int:
+        """Batched delete: log one :class:`Update` per edge, mutate in bulk."""
+        return self.apply_all(Update.delete(u, v) for u, v in edges)
 
     # ----------------------------------------------------------------- chunks
     @staticmethod
@@ -140,12 +200,16 @@ class DynamicGraph:
         return chunks
 
     def replay(self, upto: Optional[int] = None) -> Graph:
-        """Rebuild the snapshot after the first ``upto`` updates (offline use)."""
+        """Rebuild the snapshot after the first ``upto`` updates (offline use).
+
+        Replays run-by-run through the bulk mutation API on the same backend
+        as the live snapshot.
+        """
         upto = len(self._log) if upto is None else upto
-        g = Graph(self.n)
-        for update in self._log[:upto]:
-            if update.kind == Update.INSERT:
-                g.add_edge(update.u, update.v)
-            elif update.kind == Update.DELETE:
-                g.remove_edge(update.u, update.v)
+        g = Graph(self.n, backend=self._graph.backend_name)
+        for kind, run in self._grouped_runs(self._log[:upto]):
+            if kind == Update.INSERT:
+                g.add_edges((upd.u, upd.v) for upd in run)
+            elif kind == Update.DELETE:
+                g.remove_edges((upd.u, upd.v) for upd in run)
         return g

@@ -13,6 +13,11 @@ the relevant behaviours:
 * ORS-style layered induced-matching graphs (Definition 7.2 workloads).
 
 All generators take an explicit seed and return plain :class:`Graph` objects.
+The main families accept a ``backend=`` selector (``"adjset"`` / ``"csr"``)
+and build the graph through the bulk :meth:`Graph.add_edges` API, so
+array-backed backends construct large workloads without per-edge Python
+overhead.  RNG draw sequences are independent of the backend: a given seed
+produces the same edge set on every backend.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
+from repro.graph.backends import BackendSpec
 from repro.graph.graph import Graph
 
 
@@ -31,58 +37,71 @@ def _rng(seed: Optional[int]) -> random.Random:
 # classic random families
 # ---------------------------------------------------------------------------
 
-def erdos_renyi(n: int, p: float, seed: Optional[int] = None) -> Graph:
+def erdos_renyi(n: int, p: float, seed: Optional[int] = None,
+                backend: BackendSpec = None) -> Graph:
     """G(n, p) random graph."""
     rng = _rng(seed)
-    g = Graph(n)
-    for u in range(n):
-        for v in range(u + 1, n):
-            if rng.random() < p:
-                g.add_edge(u, v)
-    return g
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)
+             if rng.random() < p]
+    return Graph(n, edges, backend=backend)
 
 
-def random_graph_m(n: int, m: int, seed: Optional[int] = None) -> Graph:
+def random_graph_m(n: int, m: int, seed: Optional[int] = None,
+                   backend: BackendSpec = None) -> Graph:
     """Uniform random graph with exactly ``min(m, n choose 2)`` edges."""
+    return Graph(n, random_edge_list(n, m, seed=seed), backend=backend)
+
+
+def random_edge_list(n: int, m: int, seed: Optional[int] = None) -> List[Tuple[int, int]]:
+    """``m`` distinct random edges on ``n`` vertices as a plain list.
+
+    The bulk-construction workload: feed the result to :meth:`Graph.add_edges`
+    (or ``Graph(n, edges, backend=...)``) to benchmark backend construction
+    without entangling generation cost.
+    """
     rng = _rng(seed)
-    g = Graph(n)
     max_m = n * (n - 1) // 2
     target = min(m, max_m)
-    while g.m < target:
+    seen = set()
+    out: List[Tuple[int, int]] = []
+    while len(out) < target:
         u = rng.randrange(n)
         v = rng.randrange(n)
-        if u != v:
-            g.add_edge(u, v)
-    return g
+        if u == v:
+            continue
+        e = (u, v) if u < v else (v, u)
+        if e in seen:
+            continue
+        seen.add(e)
+        out.append(e)
+    return out
 
 
 def random_bipartite(n_left: int, n_right: int, p: float,
-                     seed: Optional[int] = None) -> Tuple[Graph, List[int], List[int]]:
+                     seed: Optional[int] = None,
+                     backend: BackendSpec = None) -> Tuple[Graph, List[int], List[int]]:
     """Random bipartite graph; returns ``(graph, left_ids, right_ids)``."""
     rng = _rng(seed)
     n = n_left + n_right
-    g = Graph(n)
     left = list(range(n_left))
     right = list(range(n_left, n))
-    for u in left:
-        for v in right:
-            if rng.random() < p:
-                g.add_edge(u, v)
-    return g, left, right
+    edges = [(u, v) for u in left for v in right if rng.random() < p]
+    return Graph(n, edges, backend=backend), left, right
 
 
-def random_regular_like(n: int, d: int, seed: Optional[int] = None) -> Graph:
+def random_regular_like(n: int, d: int, seed: Optional[int] = None,
+                        backend: BackendSpec = None) -> Graph:
     """Approximately d-regular graph via d random perfect-matching overlays."""
     rng = _rng(seed)
-    g = Graph(n)
+    edges: List[Tuple[int, int]] = []
     for _ in range(d):
         perm = list(range(n))
         rng.shuffle(perm)
         for i in range(0, n - 1, 2):
             u, v = perm[i], perm[i + 1]
             if u != v:
-                g.add_edge(u, v)
-    return g
+                edges.append((u, v))
+    return Graph(n, edges, backend=backend)
 
 
 # ---------------------------------------------------------------------------
@@ -90,7 +109,8 @@ def random_regular_like(n: int, d: int, seed: Optional[int] = None) -> Graph:
 # ---------------------------------------------------------------------------
 
 def planted_matching(n_pairs: int, extra_edge_prob: float = 0.0,
-                     seed: Optional[int] = None) -> Tuple[Graph, List[Tuple[int, int]]]:
+                     seed: Optional[int] = None,
+                     backend: BackendSpec = None) -> Tuple[Graph, List[Tuple[int, int]]]:
     """Graph on ``2 * n_pairs`` vertices containing a planted perfect matching.
 
     Returns the graph and the planted matching, which certifies
@@ -98,20 +118,19 @@ def planted_matching(n_pairs: int, extra_edge_prob: float = 0.0,
     """
     rng = _rng(seed)
     n = 2 * n_pairs
-    g = Graph(n)
     perm = list(range(n))
     rng.shuffle(perm)
     planted = []
     for i in range(0, n, 2):
         u, v = perm[i], perm[i + 1]
-        g.add_edge(u, v)
         planted.append((u, v) if u < v else (v, u))
+    edges = list(planted)
     if extra_edge_prob > 0:
         for u in range(n):
             for v in range(u + 1, n):
                 if rng.random() < extra_edge_prob:
-                    g.add_edge(u, v)
-    return g, planted
+                    edges.append((u, v))
+    return Graph(n, edges, backend=backend), planted
 
 
 def path_graph(n: int) -> Graph:

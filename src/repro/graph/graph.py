@@ -7,19 +7,25 @@ substrates and the baselines -- operate on instances of :class:`Graph`.
 
 Design notes
 ------------
-* Storage is an adjacency-set per vertex.  The algorithms are combinatorial and
-  pointer-chasing; sets give O(1) membership tests which dominate the access
-  pattern (checking whether an edge is matched / whether an endpoint is
-  removed), per the "make it work, measure, then optimise" workflow of the
-  performance guides.
+* Storage is delegated to a pluggable :class:`~repro.graph.backends.GraphBackend`
+  selected by name: ``"adjset"`` (adjacency-set per vertex, the default; O(1)
+  membership tests which dominate the pointer-chasing access pattern of the
+  combinatorial algorithms) or ``"csr"`` (NumPy CSR arrays with vectorized
+  bulk insertion, neighbour iteration and matrix export; wins on bulk
+  construction and whole-graph scans).  See ARCHITECTURE.md for guidance.
 * Vertices are dense integers ``0..n-1``.  Induced subgraphs relabel to a dense
   range and keep a mapping back to the parent graph, because the exact blossom
   matcher and the oracles expect dense vertex ids.
+* Hot paths should prefer the bulk APIs (:meth:`Graph.add_edges`,
+  :meth:`Graph.edge_list`, :meth:`Graph.subgraph_edges`,
+  :meth:`Graph.neighbor_list`) which backends may vectorize.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.backends import BackendSpec, GraphBackend, make_backend
 
 Edge = Tuple[int, int]
 
@@ -40,123 +46,140 @@ class Graph:
         Optional iterable of ``(u, v)`` pairs to insert.  Self-loops are
         rejected; parallel edges are silently deduplicated (the graph is
         simple).
+    backend:
+        Storage backend: a name from :data:`repro.graph.backends.BACKENDS`
+        (``"adjset"`` or ``"csr"``), a :class:`GraphBackend` instance, or
+        ``None`` for the default (``"adjset"``).
     """
 
-    __slots__ = ("_n", "_adj", "_m")
+    __slots__ = ("_backend",)
 
-    def __init__(self, n: int, edges: Optional[Iterable[Edge]] = None) -> None:
+    def __init__(self, n: int, edges: Optional[Iterable[Edge]] = None,
+                 backend: BackendSpec = None) -> None:
         if n < 0:
             raise ValueError(f"number of vertices must be non-negative, got {n}")
-        self._n = n
-        self._adj: List[Set[int]] = [set() for _ in range(n)]
-        self._m = 0
+        self._backend = make_backend(backend, n)
         if edges is not None:
-            for u, v in edges:
-                self.add_edge(u, v)
+            self._backend.add_edges(edges)
+
+    # ---------------------------------------------------------------- backend
+    @property
+    def backend(self) -> GraphBackend:
+        """The storage backend (for backend-aware fast paths)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the storage backend (``"adjset"`` / ``"csr"``)."""
+        return self._backend.name
+
+    def with_backend(self, backend: BackendSpec) -> "Graph":
+        """A copy of this graph stored on a (possibly different) backend."""
+        g = Graph(self.n, backend=backend)
+        g._backend.add_edges(self.edge_list())
+        return g
 
     # ------------------------------------------------------------------ basic
     @property
     def n(self) -> int:
         """Number of vertices."""
-        return self._n
+        return self._backend.n
 
     @property
     def m(self) -> int:
         """Number of edges."""
-        return self._m
+        return self._backend.m
 
     def vertices(self) -> range:
         """Iterate over all vertex ids."""
-        return range(self._n)
+        return range(self._backend.n)
 
     def __len__(self) -> int:
-        return self._n
+        return self._backend.n
 
     def __contains__(self, edge: Edge) -> bool:
         u, v = edge
-        return self.has_edge(u, v)
+        return self._backend.has_edge(u, v)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Graph(n={self._n}, m={self._m})"
-
-    def _check_vertex(self, v: int) -> None:
-        if not 0 <= v < self._n:
-            raise ValueError(f"vertex {v} out of range [0, {self._n})")
+        return f"Graph(n={self.n}, m={self.m}, backend={self.backend_name!r})"
 
     # ------------------------------------------------------------------ edges
     def add_edge(self, u: int, v: int) -> bool:
         """Insert edge ``{u, v}``.  Returns ``True`` if the edge is new."""
-        self._check_vertex(u)
-        self._check_vertex(v)
-        if u == v:
-            raise ValueError(f"self-loop ({u}, {v}) not allowed in a simple graph")
-        if v in self._adj[u]:
-            return False
-        self._adj[u].add(v)
-        self._adj[v].add(u)
-        self._m += 1
-        return True
+        return self._backend.add_edge(u, v)
 
     def remove_edge(self, u: int, v: int) -> bool:
         """Delete edge ``{u, v}``.  Returns ``True`` if the edge existed."""
-        self._check_vertex(u)
-        self._check_vertex(v)
-        if v not in self._adj[u]:
-            return False
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
-        self._m -= 1
-        return True
+        return self._backend.remove_edge(u, v)
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Insert many edges in one call; returns how many were new.
+
+        This is the batched-update fast path: array-backed backends validate,
+        canonicalise and deduplicate the whole batch vectorized instead of
+        paying per-edge Python overhead.
+        """
+        return self._backend.add_edges(edges)
+
+    def remove_edges(self, edges: Iterable[Edge]) -> int:
+        """Delete many edges in one call; returns how many existed."""
+        return self._backend.remove_edges(edges)
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether edge ``{u, v}`` is present."""
-        if not (0 <= u < self._n and 0 <= v < self._n):
-            return False
-        return v in self._adj[u]
+        return self._backend.has_edge(u, v)
 
     def neighbors(self, v: int) -> Set[int]:
         """The adjacency set of ``v`` (do not mutate)."""
-        self._check_vertex(v)
-        return self._adj[v]
+        return self._backend.neighbors(v)
+
+    def neighbor_list(self, v: int) -> Sequence[int]:
+        """Neighbours of ``v`` as a cheap-to-iterate sequence.
+
+        Prefer this over :meth:`neighbors` in iteration-only hot loops: the
+        CSR backend answers from its contiguous index array without building
+        a set.
+        """
+        return self._backend.neighbor_list(v)
 
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""
-        self._check_vertex(v)
-        return len(self._adj[v])
+        return self._backend.degree(v)
 
     def max_degree(self) -> int:
         """Maximum degree over all vertices (0 for an empty graph)."""
-        if self._n == 0:
-            return 0
-        return max(len(a) for a in self._adj)
+        return self._backend.max_degree()
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over edges as canonical ``(u, v)`` pairs with ``u < v``."""
-        for u in range(self._n):
-            for v in self._adj[u]:
-                if u < v:
-                    yield (u, v)
+        return self._backend.edges()
 
     def edge_list(self) -> List[Edge]:
-        """Materialise :meth:`edges` into a list."""
-        return list(self.edges())
+        """Materialise :meth:`edges` into a list (vectorized on CSR)."""
+        return self._backend.edge_list()
 
     def arcs(self) -> Iterator[Edge]:
         """Iterate over both orientations of every edge (Section 3.3 arcs)."""
-        for u in range(self._n):
-            for v in self._adj[u]:
-                yield (u, v)
+        return self._backend.arcs()
+
+    def arc_list(self) -> List[Edge]:
+        """Materialise :meth:`arcs` into a list (vectorized on CSR)."""
+        return self._backend.arc_list()
 
     # ----------------------------------------------------------------- derived
     def copy(self) -> "Graph":
-        """Deep copy of the graph."""
-        g = Graph(self._n)
-        g._adj = [set(a) for a in self._adj]
-        g._m = self._m
+        """Deep copy of the graph (same backend)."""
+        g = Graph.__new__(Graph)
+        g._backend = self._backend.copy()
         return g
 
     def induced_subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", Dict[int, int]]:
         """Return ``G[S]`` relabelled to ``0..|S|-1`` plus the new->old map.
+
+        The subgraph is materialised through the backend's bulk
+        :meth:`~repro.graph.backends.GraphBackend.induced_edges` primitive and
+        lives on the same backend as the parent.
 
         Parameters
         ----------
@@ -169,30 +192,27 @@ class Graph:
             ``back_map[new_id] = old_id``.
         """
         uniq = list(dict.fromkeys(vertices))
+        for v in uniq:
+            if not 0 <= v < self.n:
+                raise ValueError(f"vertex {v} out of range [0, {self.n})")
         index = {old: new for new, old in enumerate(uniq)}
-        sub = Graph(len(uniq))
-        for old_u in uniq:
-            self._check_vertex(old_u)
-            for old_v in self._adj[old_u]:
-                if old_v in index and old_u < old_v:
-                    sub.add_edge(index[old_u], index[old_v])
+        sub = Graph(len(uniq), backend=self.backend_name)
+        sub._backend.add_edges(
+            (index[u], index[v]) for u, v in self._backend.induced_edges(uniq))
         return sub, {new: old for old, new in index.items()}
 
     def subgraph_edges(self, vertices: Iterable[int]) -> List[Edge]:
         """Edges of ``G[S]`` in the *original* labelling."""
-        s = set(vertices)
-        out: List[Edge] = []
-        for u in s:
-            for v in self._adj[u]:
-                if v in s and u < v:
-                    out.append((u, v))
-        return out
+        s = vertices if isinstance(vertices, (set, frozenset)) else set(vertices)
+        return self._backend.induced_edges(s)
 
     def connected_components(self) -> List[List[int]]:
         """Connected components as lists of vertices (iterative DFS)."""
-        seen = [False] * self._n
+        n = self.n
+        neighbor_list = self._backend.neighbor_list
+        seen = [False] * n
         comps: List[List[int]] = []
-        for start in range(self._n):
+        for start in range(n):
             if seen[start]:
                 continue
             stack = [start]
@@ -201,7 +221,7 @@ class Graph:
             while stack:
                 u = stack.pop()
                 comp.append(u)
-                for v in self._adj[u]:
+                for v in neighbor_list(u):
                     if not seen[v]:
                         seen[v] = True
                         stack.append(v)
@@ -215,17 +235,17 @@ class Graph:
         which upper bounds arboricity within a factor of 2 and is what
         Remark 1 of the paper cares about qualitatively.
         """
-        if self._m == 0:
+        if self.m == 0:
             return 0
-        degree = [len(a) for a in self._adj]
-        remaining = set(range(self._n))
-        adj = [set(a) for a in self._adj]
+        n = self.n
+        adj = [set(self._backend.neighbor_list(v)) for v in range(n)]
+        degree = [len(a) for a in adj]
         import heapq
 
-        heap = [(degree[v], v) for v in remaining]
+        heap = [(degree[v], v) for v in range(n)]
         heapq.heapify(heap)
         degeneracy = 0
-        removed = [False] * self._n
+        removed = [False] * n
         while heap:
             d, v = heapq.heappop(heap)
             if removed[v] or d != degree[v]:
@@ -241,16 +261,15 @@ class Graph:
 
     # ---------------------------------------------------------------- numerics
     def adjacency_matrix(self):
-        """Dense boolean adjacency matrix (numpy), used by the OMv substrate."""
-        import numpy as np
+        """Dense boolean adjacency matrix (NumPy), used by the OMv substrate.
 
-        mat = np.zeros((self._n, self._n), dtype=bool)
-        for u, v in self.edges():
-            mat[u, v] = True
-            mat[v, u] = True
-        return mat
+        NumPy handling lives in the backend layer; a clear ``RuntimeError`` is
+        raised when NumPy is unavailable instead of an import error mid-call.
+        """
+        return self._backend.adjacency_matrix()
 
     @classmethod
-    def from_edges(cls, n: int, edges: Iterable[Edge]) -> "Graph":
+    def from_edges(cls, n: int, edges: Iterable[Edge],
+                   backend: BackendSpec = None) -> "Graph":
         """Construct a graph from an edge iterable (convenience alias)."""
-        return cls(n, edges)
+        return cls(n, edges, backend=backend)

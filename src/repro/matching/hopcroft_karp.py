@@ -40,10 +40,16 @@ def hopcroft_karp(graph: Graph,
     left = list(left)
     left_set = set(left)
 
+    # Materialise left-side adjacency once: the BFS/DFS layers below touch
+    # these lists many times per phase, and fetching them through the backend
+    # fast path (contiguous CSR slices / direct set references) beats a
+    # per-visit neighbors() call.
+    adj: Dict[int, Sequence[int]] = {u: graph.neighbor_list(u) for u in left}
+
     pair_u: Dict[int, Optional[int]] = {u: None for u in left}
     pair_v: Dict[int, Optional[int]] = {}
     for u in left:
-        for v in graph.neighbors(u):
+        for v in adj[u]:
             pair_v.setdefault(v, None)
     dist: Dict[int, float] = {}
 
@@ -58,7 +64,7 @@ def hopcroft_karp(graph: Graph,
         found = False
         while queue:
             u = queue.popleft()
-            for v in graph.neighbors(u):
+            for v in adj[u]:
                 w = pair_v.get(v)
                 if w is None:
                     found = True
@@ -68,7 +74,7 @@ def hopcroft_karp(graph: Graph,
         return found
 
     def dfs(u: int) -> bool:
-        for v in graph.neighbors(u):
+        for v in adj[u]:
             w = pair_v.get(v)
             if w is None or (dist.get(w, _INF) == dist[u] + 1 and dfs(w)):
                 pair_u[u] = v

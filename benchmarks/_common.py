@@ -1,18 +1,25 @@
-"""Shared helpers for the benchmark harness.
+"""Shared helpers for the benchmark modules.
 
-Every benchmark module regenerates one table or figure of the paper (see the
-per-experiment index in DESIGN.md): it sweeps the relevant parameter, prints
-the resulting rows/series, and persists them under ``benchmarks/results/`` so
-EXPERIMENTS.md can quote them.  The pytest-benchmark fixture times one
-representative unit of work per module so that ``pytest benchmarks/
---benchmark-only`` also produces wall-clock numbers.
+Every benchmark module regenerates one table or figure of the paper: it
+sweeps the relevant parameter, prints the resulting rows/series, and persists
+them as text under ``benchmarks/results/``.  Each module also registers its
+sweep as a ``repro.bench`` scenario (see the "Benchmark harness" section of
+ARCHITECTURE.md), which is what gives every suite ``--smoke``, backend
+selection, seed control and JSON emission through the single
+``python -m repro.bench`` CLI; the text tables are a rendering of the same
+measured quantities.  The pytest-benchmark fixture times one representative
+unit of work per module so that ``pytest benchmarks/ --benchmark-only`` also
+produces wall-clock numbers.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Sequence
+import sys
+from typing import Optional, Sequence
 
+# Re-exported so modules (and their callers) keep one definition of smoke.
+from repro.bench import smoke_mode  # noqa: F401
 from repro.instrumentation.reporting import Table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -24,13 +31,17 @@ EPS_SWEEP = (0.5, 0.25, 0.125)
 EPS_SWEEP_SMALL = (0.5, 0.25)
 
 
-def smoke_mode() -> bool:
-    """Whether benchmarks should run their seconds-scale smoke configuration.
+def scenario_main(name: str, argv: Optional[Sequence[str]] = None) -> int:
+    """Run one registered scenario through the unified CLI.
 
-    Set ``REPRO_BENCH_SMOKE=1`` (tier-1 test runs do) to shrink workloads so a
-    benchmark module executes in a few seconds instead of minutes.
+    Every ``bench_*.py`` module's ``main()`` delegates here, so
+    ``python benchmarks/bench_x.py --smoke --backend csr --seed 1`` is the
+    same run as ``python -m repro.bench run --scenario x ...``.
     """
-    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+    from repro.bench.cli import main as bench_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    return bench_main(["run", "--scenario", name, *args])
 
 
 def boosting_workload(seed: int = 0, er_n: int = 80, er_p: float = 0.05,

@@ -1,6 +1,6 @@
 """Ablation: the two schedule refinements behind Theorem 1.1.
 
-DESIGN.md calls out the two changes that turn the [FMU22] schedule into this
+Two changes turn the [FMU22] schedule into this
 paper's: (1) only O(log 1/eps) oracle iterations per simulated procedure
 (justified by the exponential decay of the derived graphs, Lemma 5.5), and
 (2) splitting the Overtake simulation into l_max label stages (Algorithm 5).
@@ -30,7 +30,9 @@ from repro.core.config import ParameterProfile
 from repro.core.oracles import RandomGreedyMatchingOracle
 from repro.baselines.fmu22 import fmu22_boost
 
-from _common import EPS_SWEEP, boosting_workload, emit
+from repro.bench import register
+
+from _common import EPS_SWEEP, boosting_workload, emit, scenario_main
 
 
 def run_ablation(seed: int = 0) -> Table:
@@ -66,3 +68,34 @@ def test_ablation_schedule(benchmark):
     g = boosting_workload(0, er_n=80, er_p=0.05, num_paths=5, path_len=9)
     benchmark(lambda: boost_matching(g, 0.25, seed=0))
     emit(run_ablation(), "ablation_schedule.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("ablation_schedule", suite="ablation", backends=("adjset", "csr"),
+          description="refined schedule vs FMU22-style driver: oracle calls "
+                      "and quality on the same workload/oracle/seed")
+def _ablation_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    if spec.smoke:
+        g = boosting_workload(spec.seed, er_n=40, er_p=0.06, num_paths=3,
+                              path_len=7, backend=spec.backend)
+    else:
+        g = boosting_workload(spec.seed, er_n=80, er_p=0.05, num_paths=5,
+                              path_len=9, backend=spec.backend)
+    opt = maximum_matching_size(g)
+    ours = boost_matching(g, eps, oracle=RandomGreedyMatchingOracle(seed=spec.seed),
+                          counters=counters, seed=spec.seed)
+    fmu_counters = Counters()
+    fmu = fmu22_boost(g, eps, oracle=RandomGreedyMatchingOracle(seed=spec.seed),
+                      counters=fmu_counters, seed=spec.seed)
+    return {"size_over_opt": ours.size / max(1, opt),
+            "fmu22_oracle_calls": fmu_counters.get("oracle_calls"),
+            "fmu22_size_over_opt": fmu.size / max(1, opt)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("ablation_schedule", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

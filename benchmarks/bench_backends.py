@@ -10,26 +10,28 @@ are timed separately:
 * ``induce``    -- induced-subgraph extraction on a random 25% vertex subset,
 * ``matrix``    -- boolean adjacency-matrix export (the OMv substrate load).
 
-Run directly (``PYTHONPATH=src python benchmarks/bench_backends.py``) for the
-full sweep, ``--smoke`` (or ``REPRO_BENCH_SMOKE=1``) for a seconds-scale
-configuration; the tier-1 suite runs the smoke mode via
-``tests/test_backends.py``.  The headline acceptance number is the total
-(construct + greedy) speedup on the 100k-edge uniform random workload.
+Run directly (``PYTHONPATH=src python benchmarks/bench_backends.py``) or via
+``python -m repro.bench run --suite backends``; ``--smoke`` (or
+``REPRO_BENCH_SMOKE=1``) selects a seconds-scale configuration and the tier-1
+suite runs the smoke mode via ``tests/test_backends.py``.  The headline
+acceptance number is the total (construct + greedy) speedup on the 100k-edge
+uniform random workload.
 """
 
 from __future__ import annotations
 
-import argparse
 import random
 import time
 from typing import Dict, List, Tuple
 
+from repro.bench import register
 from repro.graph.generators import random_edge_list
 from repro.graph.graph import Graph
+from repro.instrumentation.counters import Counters
 from repro.instrumentation.reporting import Table
 from repro.matching.greedy import greedy_maximal_matching
 
-from _common import emit, smoke_mode
+from _common import emit, scenario_main
 
 BACKEND_NAMES = ("adjset", "csr")
 
@@ -104,17 +106,43 @@ def run_comparison(smoke: bool = False, seed: int = 0) -> Tuple[Table, Dict[str,
     return table, speedups
 
 
-def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="seconds-scale configuration (also REPRO_BENCH_SMOKE=1)")
-    args = parser.parse_args(argv)
-    smoke = args.smoke or smoke_mode()
-    table, speedups = run_comparison(smoke=smoke)
+def emit_comparison(smoke: bool = False, seed: int = 0) -> Dict[str, float]:
+    """The historical text-table rendering of the full two-backend sweep."""
+    table, speedups = run_comparison(smoke=smoke, seed=seed)
     emit(table, "backends_smoke.txt" if smoke else "backends.txt")
     for label, speedup in speedups.items():
         print(f"csr total speedup on {label}: {speedup:.2f}x")
+    return speedups
+
+
+# ------------------------------------------------------------ repro.bench
+@register("backends", suite="backends", backends=BACKEND_NAMES,
+          selectors=("workload",),
+          description="construct/greedy/induce/matrix phase times per graph "
+                      "backend (the PR 1 CSR speedup)")
+def _backends_scenario(spec, counters: Counters):
+    by_label = {label: (n, m) for label, n, m in WORKLOADS + SMOKE_WORKLOADS}
+    if spec.workload == "default":
+        label = SMOKE_WORKLOADS[0][0] if spec.smoke else WORKLOADS[1][0]
+    elif spec.workload in by_label:
+        label = spec.workload
+    else:
+        # reject rather than fall back: the emitted record carries
+        # params.workload, so running anything else would mislabel it
+        raise ValueError(f"unknown backends workload {spec.workload!r}; "
+                         f"known: {sorted(by_label)}")
+    n, m = by_label[label]
+    edges = random_edge_list(n, m, seed=spec.seed)
+    phases = time_backend(spec.backend, n, edges, seed=spec.seed)
+    for key, value in phases.items():
+        if value == value:  # the matrix phase is NaN on large n
+            counters.add(key if key == "matching_size" else f"{key}_s", value)
+    return {"n": n, "m": m}
+
+
+def main(argv=None) -> int:
+    return scenario_main("backends", argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -24,12 +24,14 @@ from repro.core.config import ParameterProfile
 from repro.core.phase import DirectDriver, backtrack_pass, contract_pass, run_phase
 from repro.core.structures import PhaseState
 
-from _common import emit
+from repro.bench import register
+
+from _common import emit, scenario_main
 
 
-def _workload(seed: int = 0) -> Graph:
-    er = erdos_renyi(60, 0.06, seed=seed)
-    gadgets = blossom_gadget(6, 4)
+def _workload(seed: int = 0, er_n: int = 60, num_gadgets: int = 6) -> Graph:
+    er = erdos_renyi(er_n, 0.06, seed=seed)
+    gadgets = blossom_gadget(num_gadgets, 4)
     g = Graph(er.n + gadgets.n)
     for u, v in er.edges():
         g.add_edge(u, v)
@@ -38,8 +40,9 @@ def _workload(seed: int = 0) -> Graph:
     return g
 
 
-def structure_statistics(eps: float, seed: int = 0):
-    g = _workload(seed)
+def structure_statistics(eps: float, seed: int = 0, er_n: int = 60,
+                         num_gadgets: int = 6):
+    g = _workload(seed, er_n=er_n, num_gadgets=num_gadgets)
     matching = greedy_maximal_matching(g)
     profile = ParameterProfile.practical(eps)
     h = 0.5
@@ -86,3 +89,27 @@ def test_fig1_structures(benchmark):
     benchmark(lambda: run_phase(g, matching, profile, 0.5,
                                 DirectDriver(random.Random(0))))
     emit(run_fig1(), "fig1_structures.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("fig1_structures", suite="figures",
+          description="structure anatomy across pass-bundles (Lemma 4.5 "
+                      "size bound)")
+def _fig1_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    er_n, num_gadgets = (30, 3) if spec.smoke else (60, 6)
+    stats = structure_statistics(eps, seed=spec.seed, er_n=er_n,
+                                 num_gadgets=num_gadgets)
+    return {"pass_bundles": len(stats),
+            "max_structures": max(row[1] for row in stats),
+            "max_structure_size": max(row[2] for row in stats),
+            "max_blossoms": max(row[3] for row in stats),
+            "max_active_path": max(row[4] for row in stats)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("fig1_structures", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

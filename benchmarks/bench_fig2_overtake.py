@@ -21,7 +21,9 @@ from repro.core.boosting import boost_matching
 from repro.core.oracles import RandomGreedyMatchingOracle
 from repro.matching.blossom import maximum_matching_size
 
-from _common import EPS_SWEEP, emit
+from repro.bench import register
+
+from _common import EPS_SWEEP, emit, scenario_main
 
 
 def run_fig2() -> Table:
@@ -54,3 +56,25 @@ def test_fig2_overtake(benchmark):
     benchmark(lambda: boost_matching(
         g, 0.25, oracle=RandomGreedyMatchingOracle(seed=2), seed=1))
     emit(run_fig2(), "fig2_overtake.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("fig2_overtake", suite="figures",
+          description="Overtake activity (total / cross-structure) of one "
+                      "boosted run on the misaligned-paths workload")
+def _fig2_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    g = disjoint_paths(4, 7) if spec.smoke else disjoint_paths(8, 11)
+    opt = maximum_matching_size(g)
+    matching = boost_matching(
+        g, eps, oracle=RandomGreedyMatchingOracle(seed=spec.seed + 2),
+        counters=counters, seed=spec.seed + 1)
+    return {"size_over_opt": matching.size / max(1, opt)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("fig2_overtake", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

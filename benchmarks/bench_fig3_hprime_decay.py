@@ -31,12 +31,16 @@ from repro.core.phase import contract_pass
 from repro.core.structures import PhaseState
 from repro.core.operations import overtake_op
 
-from _common import boosting_workload, emit
+from repro.bench import register
+
+from _common import boosting_workload, emit, scenario_main
 
 
-def hprime_decay_series(seed: int = 0, eps: float = 0.25):
+def hprime_decay_series(seed: int = 0, eps: float = 0.25, er_n: int = 120,
+                        num_paths: int = 6, path_len: int = 7):
     """Grow structures one overtake each, then iterate Algorithm 4 on H'."""
-    g = boosting_workload(seed, er_n=120, er_p=0.05, num_paths=6, path_len=7)
+    g = boosting_workload(seed, er_n=er_n, er_p=0.05, num_paths=num_paths,
+                          path_len=path_len)
     matching = greedy_maximal_matching(g)
     profile = ParameterProfile.practical(eps)
     state = PhaseState(g, matching, profile.ell_max)
@@ -94,3 +98,28 @@ def test_fig3_hprime_decay(benchmark):
     """Regenerate the H' decay series and time one series computation."""
     benchmark(lambda: hprime_decay_series(seed=1))
     emit(run_fig3(), "fig3_hprime_decay.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("fig3_hprime_decay", suite="figures",
+          description="mu(H') decay across Algorithm 4 oracle iterations "
+                      "(Lemma 5.5)")
+def _fig3_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    er_n, num_paths = (48, 3) if spec.smoke else (120, 6)
+    series = hprime_decay_series(seed=spec.seed, eps=eps, er_n=er_n,
+                                 num_paths=num_paths)
+    values = {"iterations": len(series),
+              "initial_mu": series[0][3] if series else 0,
+              "final_mu": series[-1][3] if series else 0}
+    if len(series) >= 2 and series[0][3]:
+        values["overall_decay"] = series[-1][3] / series[0][3]
+    return values
+
+
+def main(argv=None) -> int:
+    return scenario_main("fig3_hprime_decay", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

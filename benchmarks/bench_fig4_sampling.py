@@ -23,7 +23,9 @@ from repro.matching.matching import Matching
 from repro.core.structures import PhaseState
 from repro.core.operations import overtake_op
 
-from _common import emit
+from repro.bench import register
+
+from _common import emit, scenario_main
 
 
 def _two_structures_of_size(size_edges: int):
@@ -86,3 +88,25 @@ def test_fig4_sampling(benchmark):
     """Regenerate the preservation-probability series; time the sampling loop."""
     benchmark(lambda: preservation_probability(3, trials=500, seed=1))
     emit(run_fig4(), "fig4_sampling.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("fig4_sampling", suite="figures",
+          description="per-structure vertex-sampling preservation "
+                      "probability vs the 1/Delta^2 bound (Lemma 6.8)")
+def _fig4_scenario(spec, counters):
+    size_edges = 3
+    trials = 300 if spec.smoke else 3000
+    measured = preservation_probability(size_edges, trials=trials,
+                                        seed=spec.seed)
+    bound = 1.0 / (2 * size_edges + 1) ** 2
+    return {"trials": trials, "preservation_prob": measured,
+            "lower_bound": bound}
+
+
+def main(argv=None) -> int:
+    return scenario_main("fig4_sampling", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,9 @@ from repro.core.dynamic_boosting import WeakOracleBoostingFramework
 from repro.core.oracles import ExactMatchingOracle, GreedyMatchingOracle, RandomGreedyMatchingOracle
 from repro.dynamic.weak_oracles import GreedyInducedWeakOracle
 
-from _common import emit
+from repro.bench import register
+
+from _common import emit, scenario_main
 
 
 def run_lemma53(seeds=(0, 1, 2)) -> Table:
@@ -71,3 +73,26 @@ def test_lemma53_initial_matching(benchmark):
     framework = BoostingFramework(0.25, seed=0)
     benchmark(lambda: framework.initial_matching(g))
     emit(run_lemma53(), "lemma53_initial_matching.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("lemma53_initial_matching", suite="lemmas",
+          description="initial-matching peeling: oracle calls used and "
+                      "approximation achieved (Lemma 5.3 / 6.7)")
+def _lemma53_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    n = 40 if spec.smoke else 80
+    g = erdos_renyi(n, 0.06, seed=spec.seed)
+    framework = BoostingFramework(eps, oracle=GreedyMatchingOracle(),
+                                  counters=counters, seed=spec.seed)
+    matching = framework.initial_matching(g)
+    opt = maximum_matching_size(g)
+    return {"approx_factor": opt / max(1, matching.size)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("lemma53_initial_matching", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,9 @@ from repro.dynamic.weak_oracles import GreedyInducedWeakOracle
 from repro.baselines.fmu22 import fmu22_boost
 from repro.baselines.mcgregor import mcgregor_boost
 
-from _common import EPS_SWEEP, emit
+from repro.bench import register
+
+from _common import EPS_SWEEP, emit, scenario_main
 
 
 def _suite(seed: int = 0):
@@ -64,3 +66,42 @@ def test_quality_vs_eps(benchmark):
     g = disjoint_paths(5, 9)
     benchmark(lambda: boost_matching(g, 0.125, seed=1))
     emit(run_quality(), "quality_vs_eps.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("quality_vs_eps", suite="quality",
+          description="worst approximation factor of every framework at one "
+                      "eps over the workload suite")
+def _quality_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    suite = list(_suite(spec.seed))
+    if spec.smoke:
+        suite = suite[:2]  # er + paths keep the run seconds-scale
+    worst = {"stream": 1.0, "boost": 1.0, "weak": 1.0}
+    for _, g in suite:
+        opt = maximum_matching_size(g)
+        if opt == 0:
+            continue
+        runs = {
+            "stream": semi_streaming_matching(g, eps, seed=spec.seed + 1,
+                                              counters=counters),
+            "boost": boost_matching(g, eps, counters=counters,
+                                    seed=spec.seed + 1),
+            "weak": boost_matching_weak(
+                g, eps, GreedyInducedWeakOracle(g, seed=spec.seed + 1),
+                counters=counters, seed=spec.seed + 1),
+        }
+        for key, matching in runs.items():
+            worst[key] = max(worst[key], opt / max(1, matching.size))
+    return {"target": 1 + eps,
+            "worst_streaming": worst["stream"],
+            "worst_boosting": worst["boost"],
+            "worst_weak_oracle": worst["weak"]}
+
+
+def main(argv=None) -> int:
+    return scenario_main("quality_vs_eps", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

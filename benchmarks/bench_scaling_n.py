@@ -23,7 +23,9 @@ from repro.instrumentation.reporting import Table, geometric_fit
 from repro.matching.blossom import maximum_matching_size
 from repro.core.boosting import boost_matching
 
-from _common import emit
+from repro.bench import register
+
+from _common import emit, scenario_main
 
 
 SIZES = (40, 80, 160, 320)
@@ -56,3 +58,24 @@ def test_scaling_n(benchmark):
     g = erdos_renyi(160, 4.0 / 160, seed=0)
     benchmark(lambda: boost_matching(g, 0.25, seed=0))
     emit(run_scaling(), "scaling_n.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("scaling_n", suite="scaling", backends=("adjset", "csr"),
+          description="static boosting at the largest sweep size: wall-clock "
+                      "and oracle work vs n")
+def _scaling_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    n = 80 if spec.smoke else SIZES[-1]
+    g = erdos_renyi(n, 4.0 / n, seed=spec.seed, backend=spec.backend)
+    matching = boost_matching(g, eps, counters=counters, seed=spec.seed)
+    opt = maximum_matching_size(g)
+    return {"n": n, "m": g.m, "size_over_opt": matching.size / max(1, opt)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("scaling_n", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,9 @@ from repro.core.config import ParameterProfile
 from repro.baselines.fmu22 import fmu22_scheduled_calls
 from repro.congest.boost_congest import congest_boosted_matching
 
-from _common import EPS_SWEEP, boosting_workload, emit
+from repro.bench import register
+
+from _common import EPS_SWEEP, boosting_workload, emit, scenario_main
 
 
 def run_table1_congest(seeds=(0, 1)) -> Table:
@@ -60,3 +62,31 @@ def test_table1_congest(benchmark):
     g = boosting_workload(0, er_n=60, er_p=0.06)
     benchmark(lambda: congest_boosted_matching(g, 0.25, seed=0))
     emit(run_table1_congest(), "table1_congest.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("table1_congest", suite="table1", backends=("adjset", "csr"),
+          description="CONGEST boosting: oracle calls, rounds and "
+                      "aggregation share at one eps")
+def _table1_congest_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    er_n = 36 if spec.smoke else 60
+    g = boosting_workload(spec.seed, er_n=er_n, er_p=0.06,
+                          num_paths=2 if spec.smoke else 4,
+                          path_len=5 if spec.smoke else 9,
+                          backend=spec.backend)
+    matching, _ = congest_boosted_matching(g, eps, counters=counters,
+                                           seed=spec.seed)
+    opt = maximum_matching_size(g)
+    rounds = counters.get("congest_rounds")
+    agg = counters.get("congest_aggregation_rounds")
+    return {"size_over_opt": matching.size / max(1, opt),
+            "aggregation_share": (agg / rounds) if rounds else 0.0}
+
+
+def main(argv=None) -> int:
+    return scenario_main("table1_congest", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,9 @@ from repro.core.oracles import GreedyMatchingOracle
 from repro.baselines.fmu22 import fmu22_boost, fmu22_scheduled_calls
 from repro.mpc.boost_mpc import mpc_boosted_matching
 
-from _common import EPS_SWEEP, boosting_workload, emit
+from repro.bench import register
+
+from _common import EPS_SWEEP, boosting_workload, emit, scenario_main
 
 
 def _workload(seed: int = 0):
@@ -80,3 +82,27 @@ def test_table1_mpc(benchmark):
     g = _workload(0)
     benchmark(lambda: boost_matching(g, 0.25, oracle=GreedyMatchingOracle(), seed=0))
     emit(run_table1_mpc(), "table1_mpc.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("table1_mpc", suite="table1", backends=("adjset", "csr"),
+          description="MPC boosting: oracle calls, rounds and quality at one "
+                      "eps on the Table 1 workload")
+def _table1_mpc_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    if spec.smoke:
+        g = boosting_workload(spec.seed, er_n=40, er_p=0.06, num_paths=2,
+                              path_len=5, backend=spec.backend)
+    else:
+        g = boosting_workload(spec.seed, backend=spec.backend)
+    matching, _ = mpc_boosted_matching(g, eps, counters=counters, seed=spec.seed)
+    opt = maximum_matching_size(g)
+    return {"size_over_opt": matching.size / max(1, opt)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("table1_mpc", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

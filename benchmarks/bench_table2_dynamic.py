@@ -32,7 +32,9 @@ from repro.dynamic.fully_dynamic import FullyDynamicMatching
 from repro.dynamic.ors import akk25_update_time, ors_lower_bound_construction, thm74_update_time
 from repro.baselines.mcgregor import mcgregor_scheduled_calls
 
-from _common import EPS_SWEEP_SMALL, emit
+from repro.bench import register
+
+from _common import EPS_SWEEP_SMALL, emit, scenario_main
 
 
 def _run_maintainer(alg, updates):
@@ -119,3 +121,27 @@ def test_table2_dynamic(benchmark):
     benchmark(run)
     emit(run_table2_measured(), "table2_dynamic_measured.txt")
     emit(run_table2_formulas(), "table2_dynamic_formulas.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("table2_dynamic", suite="table2",
+          description="fully dynamic maintainer on the planted-churn "
+                      "workload: amortized work, rebuilds, oracle calls")
+def _table2_dynamic_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    pairs, rounds = (8, 2) if spec.smoke else (15, 4)
+    n, updates = planted_matching_churn(pairs, rounds=rounds, seed=spec.seed)
+    alg = FullyDynamicMatching(n, eps, counters=counters, seed=spec.seed)
+    for upd in updates:
+        alg.update(upd)
+    opt = maximum_matching_size(alg.graph)
+    return {"amortized_update_work": alg.amortized_update_work(),
+            "size_over_opt": alg.current_matching().size / max(1, opt)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("table2_dynamic", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

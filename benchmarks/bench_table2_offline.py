@@ -3,7 +3,7 @@
 Theorem 7.15 processes a known-in-advance update sequence with amortized
 ``poly(1/eps) * n^{0.58}`` work by batching the per-snapshot computations
 (Lemma 7.13/7.14).  The reproduction keeps the batching/epoch structure and
-substitutes the shared-query machinery (DESIGN.md); what is reproduced here is
+substitutes the shared-query machinery; what is reproduced here is
 the *shape*: the offline algorithm's amortized work per update stays well
 below both the online maintainer run on the same sequence (which cannot plan
 epochs ahead) and exact recomputation, while delivering the same (1+eps)
@@ -23,7 +23,9 @@ from repro.dynamic.baselines import RecomputeFromScratchDynamic
 from repro.dynamic.fully_dynamic import FullyDynamicMatching
 from repro.dynamic.offline import OfflineDynamicMatching
 
-from _common import EPS_SWEEP_SMALL, emit
+from repro.bench import register
+
+from _common import EPS_SWEEP_SMALL, emit, scenario_main
 
 
 def run_table2_offline(seed: int = 0) -> Table:
@@ -72,3 +74,28 @@ def test_table2_offline(benchmark):
     updates = sliding_window(30, 160, window=40, seed=0)
     benchmark(lambda: OfflineDynamicMatching(30, 0.25, seed=0).run(updates))
     emit(run_table2_offline(), "table2_offline.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("table2_offline", suite="table2",
+          description="offline dynamic matching on a sliding-window stream: "
+                      "amortized work and epochs")
+def _table2_offline_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    n, num_updates, window = (20, 80, 20) if spec.smoke else (30, 240, 45)
+    updates = sliding_window(n, num_updates, window=window, seed=spec.seed)
+    offline = OfflineDynamicMatching(n, eps, counters=counters, seed=spec.seed)
+    sizes = offline.run(updates)
+    final_graph = DynamicGraph(n)
+    final_graph.apply_all(updates)
+    opt = maximum_matching_size(final_graph.graph)
+    return {"amortized_update_work": offline.amortized_update_work(),
+            "size_over_opt": sizes[-1] / max(1, opt)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("table2_offline", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ amortized update work of the maintainer when its weak oracle is OMv-backed,
 side by side with the greedy-induced oracle (which touches edges directly).
 The poly(1/eps) growth of the OMv query count -- rather than exponential -- is
 the reproduced quantity; the 2^{Omega(sqrt(log n))} substrate factor is
-substituted (DESIGN.md, substitution 4).
+substituted by the simulator.
 """
 
 from __future__ import annotations
@@ -26,7 +26,9 @@ from repro.matching.blossom import maximum_matching_size
 from repro.dynamic.fully_dynamic import FullyDynamicMatching
 from repro.dynamic.weak_oracles import GreedyInducedWeakOracle, OMvWeakOracle
 
-from _common import EPS_SWEEP_SMALL, emit
+from repro.bench import register
+
+from _common import EPS_SWEEP_SMALL, emit, scenario_main
 
 
 def run_table2_omv(seed: int = 0) -> Table:
@@ -71,3 +73,29 @@ def test_table2_omv(benchmark):
 
     benchmark(run)
     emit(run_table2_omv(), "table2_omv.txt")
+
+
+# ------------------------------------------------------------ repro.bench
+@register("table2_omv", suite="table2",
+          description="OMv-backed weak oracle inside the dynamic maintainer: "
+                      "query/probe/update counts")
+def _table2_omv_scenario(spec, counters):
+    eps = spec.resolved_eps()
+    pairs, rounds = (8, 2) if spec.smoke else (12, 3)
+    n, updates = planted_matching_churn(pairs, rounds=rounds, seed=spec.seed)
+    alg = FullyDynamicMatching(
+        n, eps, counters=counters, seed=spec.seed,
+        oracle_factory=lambda g: OMvWeakOracle(g, counters=counters))
+    for upd in updates:
+        alg.update(upd)
+    opt = maximum_matching_size(alg.graph)
+    return {"amortized_update_work": alg.amortized_update_work(),
+            "size_over_opt": alg.current_matching().size / max(1, opt)}
+
+
+def main(argv=None) -> int:
+    return scenario_main("table2_omv", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

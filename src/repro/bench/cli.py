@@ -1,0 +1,191 @@
+"""The unified benchmark CLI: ``python -m repro.bench``.
+
+Subcommands::
+
+    run      execute registered scenarios and emit JSON (+ a summary table)
+             e.g. ``python -m repro.bench run --suite table1 --smoke --backend csr``
+    list     show registered scenarios and suites
+    compare  diff two suite JSON files and fail on regressions
+             e.g. ``python -m repro.bench compare old.json new.json --fail-over 1.2``
+
+Exit codes: 0 success, 1 regression found (``compare``), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import compare as compare_mod
+from repro.bench import discovery, registry, results, runner
+from repro.instrumentation.reporting import Table, records_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Unified benchmark harness: run registered scenarios, "
+                    "emit JSON records, diff baselines.")
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="run scenarios and emit JSON records")
+    run_p.add_argument("--suite", help="run every scenario of one suite")
+    run_p.add_argument("--all", action="store_true",
+                       help="run every registered scenario")
+    run_p.add_argument("--scenario", action="append", default=[],
+                       help="run a specific scenario (repeatable)")
+    run_p.add_argument("--smoke", action="store_true",
+                       help="seconds-scale configuration "
+                            "(also REPRO_BENCH_SMOKE=1)")
+    run_p.add_argument("--backend",
+                       help="restrict the backend sweep (adjset / csr); "
+                            "default sweeps every backend a scenario declares")
+    run_p.add_argument("--eps", type=float, default=None,
+                       help="pin the approximation parameter")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--repeats", type=int, default=1,
+                       help="timed repetitions; wall_s is their minimum")
+    run_p.add_argument("--warmup", type=int, default=0,
+                       help="untimed warmup executions per spec")
+    run_p.add_argument("--workload", default="default",
+                       help="workload selector for scenarios that offer one")
+    run_p.add_argument("--algorithm", default="default",
+                       help="algorithm selector for scenarios that offer one")
+    run_p.add_argument("--no-files", action="store_true",
+                       help="skip JSON emission (print records only)")
+
+    sub.add_parser("list", help="list registered scenarios and suites")
+
+    cmp_p = sub.add_parser("compare",
+                           help="diff two suite JSON files; non-zero exit on "
+                                "regression")
+    cmp_p.add_argument("old")
+    cmp_p.add_argument("new")
+    cmp_p.add_argument("--fail-over", type=float, default=1.2,
+                       help="fail when new/old exceeds this ratio "
+                            "(default 1.2)")
+    cmp_p.add_argument("--metric", default="wall_s",
+                       help="'wall_s' (default) or any counter name")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    discovery.load_benchmark_modules()
+    if args.scenario:
+        try:
+            selected = [registry.get_scenario(name) for name in args.scenario]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        # label by scenario name, not suite (even when --suite is also
+        # passed): a partial run must not overwrite the full-suite
+        # BENCH_<suite>.json trajectory
+        suite_label = selected[0].name if len(selected) == 1 else "custom"
+    elif args.suite:
+        selected = registry.scenarios(args.suite)
+        suite_label = args.suite
+        if not selected:
+            print(f"error: no scenarios registered for suite {args.suite!r}; "
+                  f"known suites: {registry.suite_names()}", file=sys.stderr)
+            return 2
+    elif args.all:
+        selected = registry.scenarios()
+        suite_label = "all"
+        if not selected:
+            print("error: no scenarios registered", file=sys.stderr)
+            return 2
+    else:
+        print("error: choose --suite NAME, --scenario NAME or --all",
+              file=sys.stderr)
+        return 2
+
+    if args.backend is not None:
+        known = {b for scenario in selected for b in scenario.backends}
+        if args.backend not in known:
+            print(f"error: unknown backend {args.backend!r}; backends "
+                  f"declared by the selected scenarios: {sorted(known)}",
+                  file=sys.stderr)
+            return 2
+        # a backend-restricted run is a partial record set; suffix the label
+        # so it never overwrites the full-sweep BENCH_<label>.json trajectory
+        suite_label = f"{suite_label}_{args.backend}"
+
+    smoke = args.smoke or registry.smoke_mode()
+
+    def progress(record):
+        params = record["params"]
+        print(f"[{params['suite']}] {record['scenario']} "
+              f"backend={params['backend']} wall_s={record['wall_s']:.4f}")
+
+    try:
+        records = runner.run_scenarios(
+            selected, progress=progress, backend=args.backend, eps=args.eps,
+            seed=args.seed, repeats=args.repeats, warmup=args.warmup,
+            smoke=smoke, workload=args.workload, algorithm=args.algorithm)
+    except ValueError as exc:
+        # scenarios reject unknown workload/algorithm selectors rather than
+        # silently running (and mislabeling) something else
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("\n" + records_table(records).render())
+    if not args.no_files:
+        path = results.write_suite(records, suite_label)
+        print(f"\nwrote {len(records)} records to {path}")
+    return 0
+
+
+def _cmd_list() -> int:
+    discovery.load_benchmark_modules()
+    table = Table("Registered benchmark scenarios",
+                  ["scenario", "suite", "backends", "description"])
+    for scenario in registry.scenarios():
+        table.add_row(scenario.name, scenario.suite,
+                      ",".join(scenario.backends), scenario.description)
+    print(table.render())
+    print(f"\nsuites: {', '.join(registry.suite_names()) or '(none)'}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        old = results.load_records(args.old)
+        new = results.load_records(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = compare_mod.compare_records(old, new, fail_over=args.fail_over,
+                                       metric=args.metric)
+    table = Table(f"Benchmark diff ({args.metric}, fail over "
+                  f"{args.fail_over:g}x)",
+                  ["scenario", "backend", "status", "old", "new", "ratio",
+                   "regressed"])
+    for row in rows:
+        table.add_row(row["scenario"], row["backend"], row["status"],
+                      "-" if row["old"] is None else row["old"],
+                      "-" if row["new"] is None else row["new"],
+                      "-" if row["ratio"] is None else row["ratio"],
+                      "YES" if row["regressed"] else "no")
+    print(table.render())
+    bad = compare_mod.regressions(rows)
+    if bad:
+        worst = max(row["ratio"] for row in bad)
+        print(f"\nFAIL: {len(bad)} regression(s), worst ratio {worst:.3f}x "
+              f"> {args.fail_over:g}x", file=sys.stderr)
+        return 1
+    compared = sum(1 for row in rows if row["status"] == "compared")
+    print(f"\nOK: {compared} record(s) within {args.fail_over:g}x")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    parser.print_help()
+    return 2

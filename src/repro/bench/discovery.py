@@ -1,0 +1,43 @@
+"""Benchmark-module discovery: import every ``benchmarks/bench_*.py``.
+
+The benchmark modules live outside the installable package (they are
+repo-level scripts, like the historical ``python benchmarks/bench_x.py``
+invocation expects), so the registry is populated by putting ``benchmarks/``
+on ``sys.path`` and importing each ``bench_*`` module.  Registration happens
+as an import side effect (:func:`repro.bench.registry.register`).
+
+A module that fails to import -- e.g. an optional dependency this container
+does not ship -- is skipped with a warning instead of killing the whole CLI.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.results import find_repo_root
+
+
+def load_benchmark_modules(root: Optional[Path] = None) -> List[str]:
+    """Import all ``bench_*`` modules; returns the imported module names."""
+    base = Path(root) if root is not None else find_repo_root()
+    bench_dir = base / "benchmarks"
+    if not bench_dir.is_dir():
+        return []
+    path_entry = str(bench_dir)
+    if path_entry not in sys.path:
+        sys.path.insert(0, path_entry)
+    names: List[str] = []
+    for module_path in sorted(bench_dir.glob("bench_*.py")):
+        name = module_path.stem
+        try:
+            importlib.import_module(name)
+        except Exception as exc:  # noqa: BLE001 - keep the other suites alive
+            warnings.warn(f"skipping benchmark module {name}: {exc}",
+                          stacklevel=2)
+            continue
+        names.append(name)
+    return names

@@ -1,0 +1,100 @@
+"""Timing runner: executes scenarios and produces JSON-ready records.
+
+A record is the schema every emitter/consumer agrees on::
+
+    {"scenario": str, "params": {...}, "wall_s": float,
+     "counters": {...}, "python": str, "timestamp": str}
+
+``wall_s`` is the best (minimum) wall-clock over ``repeats`` timed executions
+after ``warmup`` untimed ones -- minimum, not mean, because scheduling noise
+only ever adds time.  ``counters`` merges the :class:`Counters` bag the
+scenario charged during the fastest repeat with whatever derived values the
+scenario function returned.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from datetime import datetime, timezone
+from typing import Dict, Iterable, List, Optional
+
+from repro.instrumentation.counters import Counters
+from repro.bench.registry import RunSpec, Scenario
+
+
+def expand_specs(scenario: Scenario, *, backend: Optional[str] = None,
+                 eps: Optional[float] = None, seed: int = 0, repeats: int = 1,
+                 warmup: int = 0, smoke: bool = False,
+                 workload: str = "default",
+                 algorithm: str = "default") -> List[RunSpec]:
+    """One :class:`RunSpec` per backend the scenario will run on.
+
+    Without ``backend`` the scenario's full declared backend sweep runs; with
+    it, the sweep is restricted to that backend when the scenario supports it
+    and falls back to the scenario's native (first declared) backend when it
+    does not -- the emitted record always names the backend actually used.
+    """
+    for selector, value in (("workload", workload), ("algorithm", algorithm)):
+        if value != "default" and selector not in scenario.selectors:
+            raise ValueError(
+                f"scenario {scenario.name!r} does not interpret the "
+                f"{selector} selector (got {value!r}); the emitted record "
+                "would mislabel what actually ran")
+    if backend is None:
+        backends: Iterable[str] = scenario.backends
+    elif backend in scenario.backends:
+        backends = (backend,)
+    else:
+        backends = (scenario.backends[0],)
+    return [RunSpec(scenario=scenario.name, suite=scenario.suite,
+                    workload=workload, algorithm=algorithm, eps=eps,
+                    backend=b, seed=seed, repeats=repeats, warmup=warmup,
+                    smoke=smoke)
+            for b in backends]
+
+
+def run_scenario(scenario: Scenario, spec: RunSpec) -> Dict[str, object]:
+    """Execute one spec (warmup + repeats) and return its record."""
+    for _ in range(max(0, spec.warmup)):
+        scenario.fn(spec, Counters())
+
+    best_wall: Optional[float] = None
+    best_counters: Dict[str, float] = {}
+    for _ in range(max(1, spec.repeats)):
+        counters = Counters()
+        start = time.perf_counter()
+        values = scenario.fn(spec, counters)
+        wall = time.perf_counter() - start
+        merged = counters.as_dict()
+        if values:
+            for key, value in values.items():
+                merged[str(key)] = float(value)
+        if best_wall is None or wall < best_wall:
+            best_wall, best_counters = wall, merged
+
+    return {
+        "scenario": scenario.name,
+        "params": spec.params(),
+        "wall_s": best_wall,
+        "counters": best_counters,
+        "python": platform.python_version(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def run_scenarios(scens: Iterable[Scenario],
+                  progress=None, **spec_kwargs) -> List[Dict[str, object]]:
+    """Run every scenario over its expanded specs; returns all records.
+
+    ``progress`` (optional) is called with each finished record -- the CLI
+    uses it to stream one line per run.
+    """
+    records: List[Dict[str, object]] = []
+    for scenario in scens:
+        for spec in expand_specs(scenario, **spec_kwargs):
+            record = run_scenario(scenario, spec)
+            records.append(record)
+            if progress is not None:
+                progress(record)
+    return records

@@ -19,7 +19,7 @@ structure and invoking ``Aweak`` on the sampled set:
   ``B[S]`` so that returned edges are outer-to-inner, i.e. type-3 arcs, and
   each yields an ``Overtake``.
 
-Deviation (documented in DESIGN.md): unvisited matched vertices belong to no
+Deviation from the paper: unvisited matched vertices belong to no
 structure, so sampling "one per structure" never proposes them; we add the
 inner copies of all unvisited matched vertices to the query set, which only
 enlarges the preserved subgraph and keeps the oracle calls intact.

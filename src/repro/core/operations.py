@@ -12,7 +12,7 @@ Correctness conventions
   normal operation the checks never fire -- they exist to catch driver bugs.
 * ``Augment`` records the local re-matching of the two structures' vertex sets
   (computed by a single exact Edmonds augmentation restricted to those
-  vertices) instead of expanding blossom paths via Lemma 3.5; see DESIGN.md.
+  vertices) instead of expanding blossom paths via Lemma 3.5.
 """
 
 from __future__ import annotations

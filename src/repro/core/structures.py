@@ -14,7 +14,7 @@ This module implements the data model of Section 4.1:
   by ``Augment``, the labels of matched edges (Definition 4.4), and the
   augmentations recorded so far.
 
-Deviations from the paper (documented in DESIGN.md):
+Deviations from the paper:
 
 * labels are kept per matched *edge* rather than per directed arc -- a
   conservative simplification (it can only forbid overtakes the paper would

@@ -39,8 +39,9 @@ class RecomputeFromScratchDynamic(DynamicMatchingAlgorithm):
         self._matching = Matching(n)
 
     def update(self, update: Update) -> None:
-        self.counters.add("dyn_updates")
         self.dynamic_graph.apply(update)
+        if not self.charge_update(update):
+            return
         graph = self.dynamic_graph.graph
         self._matching = maximum_matching(graph)
         # charge Theta(n + m) work for the recomputation pass
@@ -59,8 +60,9 @@ class LazyGreedyDynamic(DynamicMatchingAlgorithm):
         self._matching = Matching(n)
 
     def update(self, update: Update) -> None:
-        self.counters.add("dyn_updates")
         changed = self.dynamic_graph.apply(update)
+        if not self.charge_update(update):
+            return
         graph = self.dynamic_graph.graph
         if update.kind == Update.INSERT and changed:
             self.counters.add("update_work", 1)
@@ -105,17 +107,17 @@ class ExponentialBoostingDynamic(DynamicMatchingAlgorithm):
         self._size_at_rebuild = 0
 
     def update(self, update: Update) -> None:
-        self.counters.add("dyn_updates")
-        self.counters.add("update_work", 1)
         changed = self.dynamic_graph.apply(update)
+        if not self.charge_update(update):
+            return
+        self.counters.add("update_work", 1)
         if update.kind == Update.DELETE and changed:
             if self._matching.contains_edge(update.u, update.v):
                 self._matching.remove(update.u, update.v)
         elif update.kind == Update.INSERT and changed:
             if self._matching.is_free(update.u) and self._matching.is_free(update.v):
                 self._matching.add(update.u, update.v)
-        if update.kind != Update.EMPTY:
-            self._updates_since_rebuild += 1
+        self._updates_since_rebuild += 1
         threshold = max(1, int(self.rebuild_slack * self.eps
                                * max(1, self._size_at_rebuild)))
         if self._updates_since_rebuild >= threshold:

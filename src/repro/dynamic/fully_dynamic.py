@@ -56,6 +56,14 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
         Work accounting: ``dyn_updates``, ``dyn_rebuilds``, ``update_work``
         (the amortized-update-time proxy: vertices touched per update),
         plus everything the rebuild framework charges (``weak_oracle_calls``...).
+
+    Accounting convention (Table 2): EMPTY updates are the padding Problem 1
+    allows in an update sequence; they change nothing, so they are excluded
+    from *both* sides of the amortization -- no ``dyn_updates``/``update_work``
+    charge and no advance of the rebuild schedule -- and tallied separately as
+    ``dyn_empty_updates``.  Non-empty no-ops (re-inserting a present edge,
+    deleting an absent one) are genuine adversarial updates: they are charged
+    and they advance the rebuild schedule like any other update.
     """
 
     def __init__(self, n: int, eps: float,
@@ -90,9 +98,10 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
 
     # ---------------------------------------------------------------- updates
     def update(self, update: Update) -> None:
-        self.counters.add("dyn_updates")
+        changed = self.dynamic_graph.apply(update)  # logs EMPTY padding too
+        if not self.charge_update(update):
+            return
         self.counters.add("update_work", 1)
-        changed = self.dynamic_graph.apply(update)
 
         if changed and hasattr(self.oracle, "notify_update"):
             self.oracle.notify_update(update.u, update.v,
@@ -108,8 +117,7 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
             if self._matching.is_free(update.u) and self._matching.is_free(update.v):
                 self._matching.add(update.u, update.v)
 
-        if update.kind != Update.EMPTY:
-            self._updates_since_rebuild += 1
+        self._updates_since_rebuild += 1
         if self._needs_rebuild():
             self.rebuild()
 
@@ -142,6 +150,11 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
 
     # ------------------------------------------------------------- accounting
     def amortized_update_work(self) -> float:
-        """Total charged work divided by the number of updates processed."""
+        """Total charged work divided by the number of updates processed.
+
+        EMPTY padding updates are excluded from both the numerator (they are
+        never charged ``update_work``) and the denominator, keeping the
+        Table 2 quantity consistent; see the class docstring.
+        """
         updates = max(1.0, self.counters.get("dyn_updates"))
         return self.counters.get("update_work") / updates

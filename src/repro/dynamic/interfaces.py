@@ -37,6 +37,24 @@ class DynamicMatchingAlgorithm(ABC):
     def current_matching(self) -> Matching:
         """The maintained matching (valid for the current graph)."""
 
+    def charge_update(self, update: Update) -> bool:
+        """Shared Table 2 accounting convention for one update.
+
+        EMPTY updates are the padding Problem 1 allows in an update sequence;
+        they change nothing, so every maintainer excludes them from *both*
+        sides of the amortization (no ``dyn_updates``/``update_work`` charge,
+        no processing) and tallies them as ``dyn_empty_updates`` instead.
+        Non-empty no-ops are genuine adversarial updates and are charged.
+
+        Returns whether the update should be charged and processed.  Requires
+        the maintainer to expose a ``counters`` attribute (they all do).
+        """
+        if update.kind == Update.EMPTY:
+            self.counters.add("dyn_empty_updates")
+            return False
+        self.counters.add("dyn_updates")
+        return True
+
     def process(self, updates: Sequence[Update]) -> List[int]:
         """Process a whole sequence; returns the matching size after each update."""
         sizes = []

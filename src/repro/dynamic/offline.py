@@ -100,6 +100,12 @@ class OfflineDynamicMatching:
 
             for upd in updates[start:end]:
                 changed = dynamic.apply(upd)
+                if upd.kind == Update.EMPTY:
+                    # the shared Table 2 convention: EMPTY padding is excluded
+                    # from both sides of the amortization
+                    self.counters.add("dyn_empty_updates")
+                    sizes.append(matching.size)
+                    continue
                 self.counters.add("dyn_updates")
                 self.counters.add("update_work", 1)
                 if upd.kind == Update.DELETE and changed:

@@ -5,7 +5,7 @@ approximate OMv* problem (Definitions 7.5/7.6): maintain a Boolean matrix
 ``M`` under entry updates and answer queries ``v -> Mv`` (allowing
 ``lambda * n`` Hamming error in the approximate variant).  The true
 ``n / 2^Omega(sqrt(log n))`` OMv algorithm (Larsen-Williams style) is far
-outside the scope of a reproduction; per DESIGN.md substitution 4 we provide
+outside the scope of a reproduction; per substitution 4 we provide
 
 * :class:`OMvMatrix` -- an exact dynamic OMv data structure with word-level
   parallelism (numpy packed-bit rows), i.e. an honest ~64x constant-factor

@@ -48,8 +48,21 @@ def insertion_only(n: int, m: int, seed: Optional[int] = None) -> List[Update]:
 
 def sliding_window(n: int, num_updates: int, window: int,
                    seed: Optional[int] = None) -> List[Update]:
-    """Insert random edges; delete each edge ``window`` updates after insertion."""
+    """Insert random edges; delete each edge ``window`` updates after insertion.
+
+    The effective window is capped at ``n * (n - 1) / 2``, the number of
+    possible edges: with a larger window every possible edge can be live at
+    once with no deletion due, so no fresh edge could ever be inserted and the
+    generator would spin forever (e.g. ``sliding_window(3, 10, 10)``).
+    Degenerate inputs terminate: ``n < 2`` admits no edge at all and yields an
+    empty sequence, and ``window < 1`` is rejected outright.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if n < 2 or num_updates <= 0:
+        return []
     rng = _rng(seed)
+    window = min(window, n * (n - 1) // 2)
     updates: List[Update] = []
     live: List[Tuple[int, int]] = []
     present = set()
@@ -79,9 +92,23 @@ def planted_matching_churn(n_pairs: int, rounds: int, churn_fraction: float = 0.
     Builds a planted perfect matching plus noise, then for ``rounds`` rounds
     deletes a ``churn_fraction`` of the planted edges and re-inserts them.
     Returns ``(n, updates)``.
+
+    ``churn_fraction`` must lie in ``(0, 1]`` (it is a fraction of the planted
+    edges; anything above 1 would ask ``rng.sample`` for more victims than
+    exist).  The graph and the churn stream draw from two RNG streams derived
+    independently from ``seed``, so the noise edges added during construction
+    never perturb which planted edges get churned.
     """
-    rng = _rng(seed)
-    graph, planted = planted_matching(n_pairs, extra_edge_prob=noise_prob, seed=seed)
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+    if not 0.0 < churn_fraction <= 1.0:
+        raise ValueError(
+            f"churn_fraction must be in (0, 1], got {churn_fraction}")
+    root = _rng(seed)
+    graph_seed = root.randrange(2 ** 63)
+    rng = random.Random(root.randrange(2 ** 63))
+    graph, planted = planted_matching(n_pairs, extra_edge_prob=noise_prob,
+                                      seed=graph_seed)
     n = graph.n
     updates: List[Update] = [Update.insert(u, v) for u, v in graph.edges()]
     k = max(1, int(churn_fraction * len(planted)))

@@ -62,6 +62,32 @@ def format_table(title: str, columns: Sequence[str],
     return "\n".join(lines)
 
 
+def records_table(records: Sequence[Dict[str, object]],
+                  title: str = "benchmark records",
+                  max_counters: int = 4) -> Table:
+    """Render ``repro.bench`` runner records as a text table.
+
+    One row per record: scenario, backend, eps, smoke flag, wall-clock, and a
+    compact ``name=value`` digest of up to ``max_counters`` counters (the
+    full set lives in the JSON emission; the table is the human rendering of
+    the same records).
+    """
+    table = Table(title, ["scenario", "backend", "eps", "smoke", "wall_s",
+                          "counters"])
+    for record in records:
+        params = record.get("params", {})
+        counters = record.get("counters", {})
+        shown = sorted(counters)[:max_counters]
+        digest = ", ".join(f"{key}={_fmt(counters[key])}" for key in shown)
+        if len(counters) > max_counters:
+            digest += ", ..."
+        eps = params.get("eps")
+        table.add_row(record.get("scenario"), params.get("backend"),
+                      "-" if eps is None else eps,
+                      bool(params.get("smoke")), record.get("wall_s"), digest)
+    return table
+
+
 def geometric_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
     """Least-squares fit ``y ~ a * x^b`` in log-log space; returns ``(a, b)``.
 

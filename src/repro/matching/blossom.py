@@ -7,7 +7,7 @@ This is the exact substrate of the reproduction.  It serves three purposes:
 2. the local augmenting step -- the ``Augment`` operation of Section 4.5.1 is
    implemented by running a single augmentation of this algorithm restricted to
    the (small) union of the two structures involved, instead of the recursive
-   blossom-path expansion of Lemma 3.5 (see DESIGN.md, substitution 3);
+   blossom-path expansion of Lemma 3.5 (substitution 3);
 3. a "perfect" oracle -- an exact ``Amatching``/``Aweak`` used to separate
    framework behaviour from oracle quality in experiments.
 

@@ -2,7 +2,7 @@
 
 The paper instantiates ``Amatching`` in MPC with [GU19], which computes an
 O(1)-approximate matching in O(sqrt(log n)) rounds.  [GU19] is itself a deep
-result (round compression of LOCAL algorithms); per DESIGN.md substitution 4 we
+result (round compression of LOCAL algorithms); per substitution 4 we
 use a simpler randomized proposal algorithm with the same interface and a
 Theta(log n) round bound:
 

@@ -1,0 +1,275 @@
+"""Tests for the unified benchmark harness (``repro.bench``).
+
+Covers the registry, the timing runner and its JSON record schema, emission
+round-trips, the compare mode's exit codes, benchmark-module discovery, and
+the tier-1 smoke gate: ``REPRO_BENCH_SMOKE=1 python -m repro.bench run --all
+--smoke`` must keep every registered scenario runnable in seconds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import (
+    RECORD_KEYS,
+    RunSpec,
+    compare_records,
+    expand_specs,
+    get_scenario,
+    load_benchmark_modules,
+    load_records,
+    register,
+    regressions,
+    run_scenario,
+    scenarios,
+    suite_names,
+    unregister,
+    validate_record,
+    write_suite,
+)
+from repro.bench import cli
+from repro.instrumentation.counters import Counters
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+ALL_SCENARIOS = (
+    "ablation_schedule", "backends", "fig1_structures", "fig2_overtake",
+    "fig3_hprime_decay", "fig4_sampling", "lemma53_initial_matching",
+    "quality_vs_eps", "scaling_n", "table1_congest", "table1_mpc",
+    "table2_dynamic", "table2_offline", "table2_omv",
+)
+
+
+@pytest.fixture
+def toy_scenario():
+    calls = []
+
+    @register("_toy", suite="_toysuite", description="test-only",
+              backends=("adjset", "csr"))
+    def _toy(spec, counters):
+        calls.append(spec)
+        counters.add("work", 3)
+        return {"derived": 1.5}
+
+    yield get_scenario("_toy"), calls
+    unregister("_toy")
+
+
+class TestRegistry:
+    def test_register_and_get(self, toy_scenario):
+        scenario, _ = toy_scenario
+        assert scenario.suite == "_toysuite"
+        assert "_toysuite" in suite_names()
+        assert [s.name for s in scenarios("_toysuite")] == ["_toy"]
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("_no_such_scenario")
+
+    def test_reregistration_overwrites(self, toy_scenario):
+        @register("_toy", suite="_othersuite")
+        def _toy2(spec, counters):
+            return None
+
+        assert get_scenario("_toy").suite == "_othersuite"
+
+
+class TestRunner:
+    def test_record_schema_and_counter_merge(self, toy_scenario):
+        scenario, _ = toy_scenario
+        spec = RunSpec(scenario="_toy", suite="_toysuite", backend="csr",
+                       eps=0.5, seed=7, smoke=True)
+        record = validate_record(run_scenario(scenario, spec))
+        assert set(RECORD_KEYS) <= set(record)
+        assert record["scenario"] == "_toy"
+        assert record["wall_s"] >= 0
+        assert record["counters"] == {"work": 3.0, "derived": 1.5}
+        params = record["params"]
+        assert params["backend"] == "csr"
+        assert params["eps"] == 0.5
+        assert params["seed"] == 7
+        assert params["smoke"] is True
+
+    def test_warmup_and_repeats_execute(self, toy_scenario):
+        scenario, calls = toy_scenario
+        spec = RunSpec(scenario="_toy", suite="_toysuite", repeats=3, warmup=2)
+        run_scenario(scenario, spec)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+
+    def test_expand_specs_sweeps_declared_backends(self, toy_scenario):
+        scenario, _ = toy_scenario
+        specs = expand_specs(scenario)
+        assert [s.backend for s in specs] == ["adjset", "csr"]
+        only = expand_specs(scenario, backend="csr")
+        assert [s.backend for s in only] == ["csr"]
+        # unsupported backend falls back to the scenario's native one
+        fallback = expand_specs(scenario, backend="gpu")
+        assert [s.backend for s in fallback] == ["adjset"]
+
+    def test_resolved_eps_default(self):
+        assert RunSpec(scenario="x", suite="y").resolved_eps() == 0.25
+        assert RunSpec(scenario="x", suite="y", eps=0.5).resolved_eps() == 0.5
+
+
+class TestResults:
+    def _record(self, scenario="s1", backend="adjset", wall=0.5):
+        return {"scenario": scenario,
+                "params": {"suite": "t", "workload": "default",
+                           "algorithm": "default", "eps": None,
+                           "backend": backend, "seed": 0, "repeats": 1,
+                           "warmup": 0, "smoke": True},
+                "wall_s": wall, "counters": {"work": 1.0},
+                "python": "3", "timestamp": "2026-07-29T00:00:00+00:00"}
+
+    def test_json_round_trip(self, tmp_path):
+        records = [self._record("s1"), self._record("s2", backend="csr")]
+        path = write_suite(records, "tsuite", root=tmp_path)
+        assert path == tmp_path / "BENCH_tsuite.json"
+        loaded = load_records(path)
+        assert loaded == records
+        # per-scenario files carry the same records, grouped
+        per = load_records(tmp_path / "results" / "s1.json")
+        assert per == [records[0]]
+
+    def test_validate_rejects_missing_keys(self):
+        bad = self._record()
+        del bad["counters"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_record(bad)
+
+    def test_load_rejects_non_record_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ValueError):
+            load_records(path)
+
+
+class TestCompare:
+    def _records(self, wall):
+        return [{"scenario": "s", "params": {"backend": "adjset"},
+                 "wall_s": wall, "counters": {"oracle_calls": 10.0},
+                 "python": "3", "timestamp": "t"}]
+
+    def test_regression_flagged(self):
+        rows = compare_records(self._records(1.0), self._records(1.3),
+                               fail_over=1.2)
+        assert regressions(rows) and rows[0]["ratio"] == pytest.approx(1.3)
+
+    def test_within_threshold_passes(self):
+        rows = compare_records(self._records(1.0), self._records(1.1),
+                               fail_over=1.2)
+        assert not regressions(rows)
+
+    def test_counter_metric(self):
+        old, new = self._records(1.0), self._records(1.0)
+        new[0]["counters"]["oracle_calls"] = 30.0
+        rows = compare_records(old, new, fail_over=1.2, metric="oracle_calls")
+        assert regressions(rows) and rows[0]["ratio"] == pytest.approx(3.0)
+
+    def test_unmatched_records_never_regress(self):
+        extra = {"scenario": "other", "params": {"backend": "adjset"},
+                 "wall_s": 9.0, "counters": {}, "python": "3", "timestamp": "t"}
+        rows = compare_records(self._records(1.0),
+                               self._records(1.0) + [extra])
+        assert not regressions(rows)
+        assert {"compared", "added"} == {row["status"] for row in rows}
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        old = write_suite(self._records(1.0), "old", root=tmp_path / "a")
+        new = write_suite(self._records(1.3), "new", root=tmp_path / "b")
+        assert cli.main(["compare", str(old), str(new),
+                         "--fail-over", "1.2"]) == 1
+        assert cli.main(["compare", str(old), str(new),
+                         "--fail-over", "1.5"]) == 0
+        assert cli.main(["compare", str(old),
+                         str(tmp_path / "missing.json")]) == 2
+        capsys.readouterr()
+
+
+class TestDiscovery:
+    def test_all_benchmark_modules_register(self):
+        load_benchmark_modules()
+        registered = {s.name for s in scenarios()}
+        missing = set(ALL_SCENARIOS) - registered
+        assert not missing, f"scenarios not registered: {sorted(missing)}"
+        assert {"backends", "table1", "table2", "figures"} <= set(suite_names())
+
+    def test_run_cli_requires_a_selection(self, capsys):
+        assert cli.main(["run"]) == 2
+        assert cli.main(["run", "--suite", "_no_such_suite"]) == 2
+        capsys.readouterr()
+
+    def test_run_cli_rejects_unknown_backend(self, toy_scenario, capsys):
+        assert cli.main(["run", "--scenario", "_toy",
+                         "--backend", "czr"]) == 2  # typo of "csr"
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_single_scenario_run_does_not_clobber_suite_file(
+            self, toy_scenario, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert cli.main(["run", "--scenario", "_toy", "--smoke"]) == 0
+        # labeled by scenario name, so BENCH_<suite>.json stays intact --
+        # also when --suite is passed alongside --scenario
+        assert (tmp_path / "BENCH__toy.json").exists()
+        assert cli.main(["run", "--suite", "_toysuite",
+                         "--scenario", "_toy", "--smoke"]) == 0
+        assert not (tmp_path / "BENCH__toysuite.json").exists()
+        capsys.readouterr()
+
+    def test_run_cli_rejects_unknown_workload(self, tmp_path, monkeypatch,
+                                              capsys):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert cli.main(["run", "--scenario", "backends", "--smoke",
+                         "--workload", "uniform-100K"]) == 2  # wrong case
+        assert "unknown backends workload" in capsys.readouterr().err
+        assert not (tmp_path / "BENCH_backends.json").exists()
+
+    def test_run_cli_rejects_undeclared_selectors(self, toy_scenario,
+                                                  tmp_path, monkeypatch,
+                                                  capsys):
+        # _toy declares no selectors: any non-default workload/algorithm
+        # would be recorded verbatim without influencing the run
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert cli.main(["run", "--scenario", "_toy", "--smoke",
+                         "--workload", "bogus"]) == 2
+        assert cli.main(["run", "--scenario", "_toy", "--smoke",
+                         "--algorithm", "bogus"]) == 2
+        assert "does not interpret" in capsys.readouterr().err
+        assert not list(tmp_path.glob("BENCH_*.json"))
+
+    def test_backend_restricted_run_gets_suffixed_label(
+            self, toy_scenario, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert cli.main(["run", "--scenario", "_toy", "--smoke",
+                         "--backend", "csr"]) == 0
+        # the csr-only record set must not overwrite BENCH__toy.json
+        assert (tmp_path / "BENCH__toy_csr.json").exists()
+        assert not (tmp_path / "BENCH__toy.json").exists()
+        capsys.readouterr()
+
+
+# --------------------------------------------------------------- smoke gate
+def test_smoke_gate_all_scenarios(tmp_path):
+    """Every registered scenario stays runnable in seconds (CI smoke gate)."""
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    env["REPRO_BENCH_OUT"] = str(tmp_path)
+    env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "run", "--all", "--smoke"],
+        capture_output=True, text=True, timeout=240, env=env, cwd=REPO_ROOT)
+    assert result.returncode == 0, result.stderr + result.stdout
+    records = load_records(tmp_path / "BENCH_all.json")
+    by_scenario = {record["scenario"] for record in records}
+    assert set(ALL_SCENARIOS) <= by_scenario
+    for record in records:
+        assert record["params"]["smoke"] is True
+        assert record["wall_s"] >= 0
+    # the backends scenario must cover both backends (acceptance criterion)
+    backends = {record["params"]["backend"] for record in records
+                if record["scenario"] == "backends"}
+    assert backends == {"adjset", "csr"}

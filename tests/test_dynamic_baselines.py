@@ -62,3 +62,24 @@ class TestExponentialBaseline:
         # it maintains at least a 2-approximation (its rebuilds start maximal)
         assert 2 * alg.current_matching().size >= maximum_matching_size(
             alg.dynamic_graph.graph) - 1
+
+
+class TestEmptyUpdateConvention:
+    """Every maintainer shares the Table 2 EMPTY-padding convention."""
+
+    def test_empty_excluded_from_both_sides_everywhere(self):
+        from repro.graph.dynamic_graph import Update
+
+        for make in (lambda c: RecomputeFromScratchDynamic(8, counters=c),
+                     lambda c: LazyGreedyDynamic(8, counters=c),
+                     lambda c: ExponentialBoostingDynamic(8, 0.25, counters=c,
+                                                          seed=3)):
+            counters = Counters()
+            alg = make(counters)
+            alg.update(Update.insert(0, 1))
+            work_after_real = counters.get("update_work")
+            for _ in range(10):
+                alg.update(Update.empty())
+            assert counters.get("dyn_updates") == 1
+            assert counters.get("dyn_empty_updates") == 10
+            assert counters.get("update_work") == work_after_real

@@ -66,6 +66,39 @@ class TestMaintenance:
 
 
 class TestAccounting:
+    def test_empty_and_noop_accounting_invariant(self):
+        """EMPTY padding is excluded from *both* sides of the amortization.
+
+        The Table 2 convention: EMPTY updates charge nothing and do not
+        advance the rebuild schedule (they are tallied as
+        ``dyn_empty_updates``), while non-empty no-ops are charged and
+        scheduled like any other update.  The invariant tying the two sides
+        together: every counted update charges exactly one ``update_work``
+        unit plus ``n`` per rebuild.
+        """
+        n = 8
+        counters = Counters()
+        alg = FullyDynamicMatching(n, EPS, counters=counters, seed=10)
+        updates = [Update.insert(0, 1), Update.empty(), Update.insert(2, 3),
+                   Update.empty(), Update.insert(0, 1),  # a no-op re-insert
+                   Update.delete(4, 5)]                  # a no-op delete
+        for upd in updates:
+            alg.update(upd)
+        assert counters.get("dyn_updates") == 4       # no-ops count...
+        assert counters.get("dyn_empty_updates") == 2  # ...EMPTY does not
+        assert counters.get("update_work") == (
+            counters.get("dyn_updates")
+            + counters.get("dyn_rebuilds") * n)
+
+        # EMPTY padding changes neither the work nor the amortized quotient
+        work_before = counters.get("update_work")
+        amortized_before = alg.amortized_update_work()
+        for _ in range(50):
+            alg.update(Update.empty())
+        assert counters.get("update_work") == work_before
+        assert counters.get("dyn_updates") == 4
+        assert alg.amortized_update_work() == amortized_before
+
     def test_counters_and_amortized_work(self):
         n, updates = planted_matching_churn(8, rounds=2, seed=7)
         counters = Counters()

@@ -46,3 +46,24 @@ class TestOffline:
     def test_empty_sequence(self):
         alg = OfflineDynamicMatching(10, EPS, seed=5)
         assert alg.run([]) == []
+
+
+def test_empty_updates_excluded_from_amortization():
+    """Offline runs share the Table 2 EMPTY-padding accounting convention."""
+    from repro.graph.dynamic_graph import Update
+    from repro.graph.workloads import insertion_only
+
+    updates = insertion_only(12, 20, seed=5)
+    padded = []
+    for upd in updates:
+        padded.append(upd)
+        padded.append(Update.empty())
+
+    plain_counters = Counters()
+    OfflineDynamicMatching(12, 0.25, counters=plain_counters, seed=5).run(updates)
+    padded_counters = Counters()
+    sizes = OfflineDynamicMatching(12, 0.25, counters=padded_counters,
+                                   seed=5).run(padded)
+    assert len(sizes) == len(padded)  # one size reading per update, padding too
+    assert padded_counters.get("dyn_updates") == plain_counters.get("dyn_updates")
+    assert padded_counters.get("dyn_empty_updates") == len(updates)

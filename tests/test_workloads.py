@@ -1,5 +1,7 @@
 """Unit tests for the dynamic workload generators."""
 
+import pytest
+
 from repro.graph.dynamic_graph import DynamicGraph, Update
 from repro.graph.workloads import (
     adversarial_matched_edge_deletions,
@@ -27,6 +29,18 @@ class TestInsertionOnly:
         changed = dg.apply_all(updates)
         assert changed == 25
 
+    def test_m_capped_at_possible_edges(self):
+        updates = insertion_only(4, 100, seed=10)
+        assert len(updates) == 6  # 4*3/2 distinct edges exist
+
+    def test_degenerate_n_terminates(self):
+        assert insertion_only(0, 5, seed=10) == []
+        assert insertion_only(1, 5, seed=10) == []
+
+    def test_seeded_determinism(self):
+        assert insertion_only(12, 20, seed=11) == insertion_only(12, 20, seed=11)
+        assert insertion_only(12, 20, seed=11) != insertion_only(12, 20, seed=12)
+
 
 class TestSlidingWindow:
     def test_length_and_window_bound(self):
@@ -45,6 +59,31 @@ class TestSlidingWindow:
                 assert dg.graph.has_edge(upd.u, upd.v)
             dg.apply(upd)
 
+    def test_window_exceeding_possible_edges_terminates(self):
+        # used to loop forever: all 3 possible edges live, no delete due
+        updates = sliding_window(3, 10, window=10, seed=6)
+        assert len(updates) == 10
+        dg = DynamicGraph(3)
+        for upd in updates:
+            dg.apply(upd)
+            assert dg.m <= 3  # the effective window is the edge count
+
+    def test_degenerate_n_terminates(self):
+        assert sliding_window(0, 10, window=4, seed=6) == []
+        assert sliding_window(1, 10, window=4, seed=6) == []
+        assert sliding_window(5, 0, window=4, seed=6) == []
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            sliding_window(5, 10, window=0)
+        with pytest.raises(ValueError, match="window"):
+            sliding_window(5, 10, window=-3)
+
+    def test_seeded_determinism(self):
+        a = sliding_window(10, 50, window=7, seed=13)
+        b = sliding_window(10, 50, window=7, seed=13)
+        assert a == b
+
 
 class TestPlantedChurn:
     def test_matching_stays_large(self):
@@ -56,6 +95,41 @@ class TestPlantedChurn:
         # after all churn rounds the planted matching is restored
         assert maximum_matching_size(dg.graph) == 12
 
+    def test_invalid_churn_fraction_rejected(self):
+        for bad in (1.5, 0.0, -0.25):
+            with pytest.raises(ValueError, match="churn_fraction"):
+                planted_matching_churn(8, rounds=1, churn_fraction=bad)
+
+    def test_degenerate_n_pairs_rejected(self):
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="n_pairs"):
+                planted_matching_churn(bad, rounds=1)
+
+    def test_full_churn_fraction_allowed(self):
+        n, updates = planted_matching_churn(6, rounds=2, churn_fraction=1.0,
+                                            seed=7)
+        dg = DynamicGraph(n)
+        dg.apply_all(updates)
+
+    def test_exact_update_counts(self):
+        n_pairs, rounds, frac = 10, 3, 0.3
+        n, updates = planted_matching_churn(n_pairs, rounds=rounds,
+                                            churn_fraction=frac, seed=8)
+        k = max(1, int(frac * n_pairs))
+        deletes = sum(1 for u in updates if u.kind == Update.DELETE)
+        assert deletes == k * rounds
+        # prefix: one insert per initial graph edge (planted + noise); then
+        # each churn round deletes k planted edges and re-inserts them
+        initial = len(updates) - 2 * k * rounds
+        assert initial >= n_pairs
+        assert all(u.kind == Update.INSERT for u in updates[:initial])
+
+    def test_seeded_determinism(self):
+        assert planted_matching_churn(9, rounds=2, seed=21) == \
+            planted_matching_churn(9, rounds=2, seed=21)
+        assert planted_matching_churn(9, rounds=2, seed=21) != \
+            planted_matching_churn(9, rounds=2, seed=22)
+
 
 class TestOrsReveal:
     def test_reveal_then_remove(self):
@@ -64,6 +138,9 @@ class TestOrsReveal:
         dg.apply_all(updates)
         assert dg.m == 0  # everything inserted is deleted again
         assert dg.max_edges_seen > 0
+
+    def test_seeded_determinism(self):
+        assert ors_reveal(30, 3, 3, seed=9) == ors_reveal(30, 3, 3, seed=9)
 
 
 class TestAdversarial:

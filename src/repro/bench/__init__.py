@@ -21,7 +21,12 @@ from repro.bench.registry import (
     suite_names,
     unregister,
 )
-from repro.bench.runner import expand_specs, run_scenario, run_scenarios
+from repro.bench.runner import (
+    expand_all,
+    expand_specs,
+    run_scenario,
+    run_scenarios,
+)
 from repro.bench.results import (
     RECORD_KEYS,
     find_repo_root,
@@ -37,6 +42,7 @@ __all__ = [
     "RunSpec",
     "Scenario",
     "compare_records",
+    "expand_all",
     "expand_specs",
     "find_repo_root",
     "get_scenario",

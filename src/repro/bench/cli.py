@@ -4,17 +4,21 @@ Subcommands::
 
     run      execute registered scenarios and emit JSON (+ a summary table)
              e.g. ``python -m repro.bench run --suite table1 --smoke --backend csr``
+             ``--jobs N`` fans independent runs out over N worker processes
+             (deterministic record order; exit 1 if any scenario failed)
     list     show registered scenarios and suites
     compare  diff two suite JSON files and fail on regressions
              e.g. ``python -m repro.bench compare old.json new.json --fail-over 1.2``
 
-Exit codes: 0 success, 1 regression found (``compare``), 2 usage error.
+Exit codes: 0 success, 1 failed scenario (``run``) or regression found
+(``compare``), 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.bench import compare as compare_mod
@@ -48,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="timed repetitions; wall_s is their minimum")
     run_p.add_argument("--warmup", type=int, default=0,
                        help="untimed warmup executions per spec")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="run specs in N worker processes (default 1 = "
+                            "in-process); records are merged in deterministic "
+                            "spec order, so output is identical to --jobs 1 "
+                            "apart from wall_s/timestamp, and a failing "
+                            "scenario only fails itself")
     run_p.add_argument("--workload", default="default",
                        help="workload selector for scenarios that offer one")
     run_p.add_argument("--algorithm", default="default",
@@ -85,6 +95,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.suite:
         selected = registry.scenarios(args.suite)
         suite_label = args.suite
+        if not selected and args.suite == "all":
+            # "--suite all" reads naturally as "every scenario"; honour it
+            # unless a literal suite named "all" is registered
+            selected = registry.scenarios()
         if not selected:
             print(f"error: no scenarios registered for suite {args.suite!r}; "
                   f"known suites: {registry.suite_names()}", file=sys.stderr)
@@ -112,15 +126,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         suite_label = f"{suite_label}_{args.backend}"
 
     smoke = args.smoke or registry.smoke_mode()
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     def progress(record):
         params = record["params"]
         print(f"[{params['suite']}] {record['scenario']} "
               f"backend={params['backend']} wall_s={record['wall_s']:.4f}")
 
+    failures = []
+    start = time.perf_counter()
     try:
         records = runner.run_scenarios(
-            selected, progress=progress, backend=args.backend, eps=args.eps,
+            selected, progress=progress, jobs=args.jobs, failures=failures,
+            backend=args.backend, eps=args.eps,
             seed=args.seed, repeats=args.repeats, warmup=args.warmup,
             smoke=smoke, workload=args.workload, algorithm=args.algorithm)
     except ValueError as exc:
@@ -128,10 +148,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # silently running (and mislabeling) something else
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    suite_wall = time.perf_counter() - start
     print("\n" + records_table(records).render())
-    if not args.no_files:
-        path = results.write_suite(records, suite_label)
+    if not args.no_files and records:
+        path = results.write_suite(
+            records, suite_label,
+            meta={"jobs": args.jobs, "suite_wall_s": round(suite_wall, 4)})
         print(f"\nwrote {len(records)} records to {path}")
+    for failure in failures:
+        print(f"FAILED [{failure['backend']}] {failure['scenario']}: "
+              f"{failure['error'].strip().splitlines()[-1]}", file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} scenario run(s) failed "
+              f"({len(records)} succeeded)", file=sys.stderr)
+        return 1
     return 0
 
 

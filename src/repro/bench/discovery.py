@@ -8,11 +8,20 @@ as an import side effect (:func:`repro.bench.registry.register`).
 
 A module that fails to import -- e.g. an optional dependency this container
 does not ship -- is skipped with a warning instead of killing the whole CLI.
+
+``REPRO_BENCH_EXTRA_MODULES`` (``os.pathsep``-separated ``.py`` file paths)
+names additional scenario modules to load after the ``bench_*`` sweep.  It
+exists so out-of-tree scenarios -- including the test suite's throwaway
+ones -- register in ``--jobs N`` pool workers too, which repopulate the
+registry from scratch under the ``spawn`` start method.
 """
 
 from __future__ import annotations
 
+import hashlib
 import importlib
+import importlib.util
+import os
 import sys
 import warnings
 from pathlib import Path
@@ -20,24 +29,56 @@ from typing import List, Optional
 
 from repro.bench.results import find_repo_root
 
+#: env var naming extra scenario module files (os.pathsep-separated)
+EXTRA_MODULES_ENV = "REPRO_BENCH_EXTRA_MODULES"
+
+
+def _load_module_file(path: Path) -> Optional[str]:
+    """Import one ``.py`` file under a stable synthetic module name."""
+    # key by the resolved path, not just the stem: two entries named
+    # scenarios.py in different directories must both load
+    digest = hashlib.sha1(str(path.resolve()).encode("utf-8")).hexdigest()[:8]
+    name = f"_repro_bench_extra_{path.stem}_{digest}"
+    if name in sys.modules:
+        # import semantics: execute once per process, not once per call --
+        # a pool worker resolves many specs against the same registry
+        return name
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return name
+
 
 def load_benchmark_modules(root: Optional[Path] = None) -> List[str]:
-    """Import all ``bench_*`` modules; returns the imported module names."""
+    """Import all ``bench_*`` modules (+ extras); returns the module names."""
     base = Path(root) if root is not None else find_repo_root()
     bench_dir = base / "benchmarks"
-    if not bench_dir.is_dir():
-        return []
-    path_entry = str(bench_dir)
-    if path_entry not in sys.path:
-        sys.path.insert(0, path_entry)
     names: List[str] = []
-    for module_path in sorted(bench_dir.glob("bench_*.py")):
-        name = module_path.stem
+    if bench_dir.is_dir():
+        path_entry = str(bench_dir)
+        if path_entry not in sys.path:
+            sys.path.insert(0, path_entry)
+        for module_path in sorted(bench_dir.glob("bench_*.py")):
+            name = module_path.stem
+            try:
+                importlib.import_module(name)
+            except Exception as exc:  # noqa: BLE001 - keep the other suites alive
+                warnings.warn(f"skipping benchmark module {name}: {exc}",
+                              stacklevel=2)
+                continue
+            names.append(name)
+    for entry in os.environ.get(EXTRA_MODULES_ENV, "").split(os.pathsep):
+        if not entry:
+            continue
         try:
-            importlib.import_module(name)
+            loaded = _load_module_file(Path(entry))
         except Exception as exc:  # noqa: BLE001 - keep the other suites alive
-            warnings.warn(f"skipping benchmark module {name}: {exc}",
+            warnings.warn(f"skipping extra benchmark module {entry}: {exc}",
                           stacklevel=2)
             continue
-        names.append(name)
+        if loaded:
+            names.append(loaded)
     return names

@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 RECORD_KEYS = ("scenario", "params", "wall_s", "counters", "python",
                "timestamp")
@@ -55,23 +55,31 @@ def validate_record(record: Mapping[str, object]) -> Mapping[str, object]:
     return record
 
 
-def suite_payload(records: Sequence[Mapping[str, object]],
-                  suite: str) -> Dict[str, object]:
-    return {"suite": suite, "schema": list(RECORD_KEYS),
-            "records": [validate_record(r) for r in records]}
+def suite_payload(records: Sequence[Mapping[str, object]], suite: str,
+                  meta: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "suite": suite, "schema": list(RECORD_KEYS),
+        "records": [validate_record(r) for r in records]}
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
 
 
 def write_suite(records: Sequence[Mapping[str, object]], suite: str,
-                root: Path = None) -> Path:
+                root: Path = None,
+                meta: Optional[Mapping[str, object]] = None) -> Path:
     """Write ``BENCH_<suite>.json`` plus per-scenario record files.
 
-    Returns the path of the suite file.
+    ``meta`` (optional) lands as a suite-level ``"meta"`` object in the
+    suite file only -- the CLI records how the suite was executed there
+    (``jobs``, total ``suite_wall_s``), which per-record fields cannot
+    express.  Returns the path of the suite file.
     """
     root = Path(root) if root is not None else output_root()
     root.mkdir(parents=True, exist_ok=True)
     suite_path = root / f"BENCH_{suite}.json"
     with open(suite_path, "w", encoding="utf-8") as handle:
-        json.dump(suite_payload(records, suite), handle, indent=2,
+        json.dump(suite_payload(records, suite, meta=meta), handle, indent=2,
                   sort_keys=True)
         handle.write("\n")
 

@@ -10,15 +10,27 @@ after ``warmup`` untimed ones -- minimum, not mean, because scheduling noise
 only ever adds time.  ``counters`` merges the :class:`Counters` bag the
 scenario charged during the fastest repeat with whatever derived values the
 scenario function returned.
+
+Independent specs have no shared state (each run charges a fresh
+:class:`Counters` bag), so ``run_scenarios(jobs=N)`` fans them out over a
+``ProcessPoolExecutor``.  The determinism contract: records come back merged
+in *spec order* -- the exact order the serial loop would produce -- so the
+emitted JSON is identical regardless of ``jobs`` except for ``wall_s`` and
+``timestamp``.  When the caller opts in by passing a ``failures`` list, a
+failing scenario is isolated into a failure entry instead of aborting the
+suite, in both the serial and the pooled path; without it the first failure
+raises (the historical contract).
 """
 
 from __future__ import annotations
 
 import platform
 import time
+import traceback
 from datetime import datetime, timezone
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.exec.pool import ERROR, OK, run_spec_task
 from repro.instrumentation.counters import Counters
 from repro.bench.registry import RunSpec, Scenario
 
@@ -83,18 +95,90 @@ def run_scenario(scenario: Scenario, spec: RunSpec) -> Dict[str, object]:
     }
 
 
-def run_scenarios(scens: Iterable[Scenario],
-                  progress=None, **spec_kwargs) -> List[Dict[str, object]]:
+def expand_all(scens: Iterable[Scenario],
+               **spec_kwargs) -> List[Tuple[Scenario, RunSpec]]:
+    """The deterministic (scenario, spec) work list of a suite run.
+
+    This order is the merge order of every run mode: serial execution walks
+    it directly, and a pooled run reassembles worker results back into it.
+    """
+    return [(scenario, spec) for scenario in scens
+            for spec in expand_specs(scenario, **spec_kwargs)]
+
+
+def _failure(scenario: Scenario, spec: RunSpec, error: str) -> Dict[str, str]:
+    return {"scenario": scenario.name, "backend": spec.backend,
+            "error": error}
+
+
+def run_scenarios(scens: Iterable[Scenario], progress=None, jobs: int = 1,
+                  totals: Optional[Counters] = None,
+                  failures: Optional[List[Dict[str, str]]] = None,
+                  **spec_kwargs) -> List[Dict[str, object]]:
     """Run every scenario over its expanded specs; returns all records.
 
-    ``progress`` (optional) is called with each finished record -- the CLI
-    uses it to stream one line per run.
+    ``jobs`` > 1 executes the expanded specs in a ``ProcessPoolExecutor``
+    (each worker returns its record with the spec's ``Counters`` snapshot
+    inside); records are merged back in spec order, so output is
+    byte-identical to a serial run modulo ``wall_s``/``timestamp``.
+
+    ``progress`` (optional) is called with each finished record in spec
+    order, as results become available -- the CLI uses it to stream one
+    line per run.  ``totals`` (optional) accumulates every record's
+    counters into one suite-level bag.
+
+    Failure handling: pass ``failures`` (a list) to isolate a spec whose
+    execution raises into an entry (``{"scenario", "backend", "error"}``)
+    while the rest of the suite completes.  Without it, the first failure
+    raises -- the historical contract; scenarios must never go missing from
+    the result silently.  Spec *expansion* errors (unknown selectors)
+    always raise: they are usage errors, not scenario failures.
     """
+    work = expand_all(scens, **spec_kwargs)
     records: List[Dict[str, object]] = []
-    for scenario in scens:
-        for spec in expand_specs(scenario, **spec_kwargs):
-            record = run_scenario(scenario, spec)
-            records.append(record)
-            if progress is not None:
-                progress(record)
+
+    def handle(scenario: Scenario, spec: RunSpec, tag: str, payload) -> None:
+        if tag != OK:
+            if failures is None:
+                raise RuntimeError(
+                    f"scenario {scenario.name!r} (backend {spec.backend}) "
+                    f"failed:\n{payload}")
+            failures.append(_failure(scenario, spec, str(payload)))
+            return
+        if totals is not None:
+            totals.merge(payload["counters"])
+        records.append(payload)
+        if progress is not None:
+            progress(payload)
+
+    if jobs <= 1 or len(work) <= 1:
+        for scenario, spec in work:
+            if failures is None:
+                # historical raise-on-error contract: let it propagate as-is
+                handle(scenario, spec, OK, run_scenario(scenario, spec))
+                continue
+            try:
+                outcome: Tuple[str, object] = (OK, run_scenario(scenario, spec))
+            except Exception:  # noqa: BLE001 - isolate per scenario
+                # full traceback, matching what pooled workers ship back
+                outcome = (ERROR, traceback.format_exc())
+            handle(scenario, spec, *outcome)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.bench.results import find_repo_root
+
+        root = str(find_repo_root())
+        tasks = [(scenario.name, spec, root) for scenario, spec in work]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            futures = [pool.submit(run_spec_task, task) for task in tasks]
+            # walk futures in submission order == spec order: results stream
+            # deterministically as the slowest-prefix future completes
+            for (scenario, spec), future in zip(work, futures):
+                try:
+                    tag, payload = future.result()
+                except Exception as exc:  # noqa: BLE001 - broken worker
+                    tag, payload = (
+                        ERROR, f"worker died: {type(exc).__name__}: {exc}")
+                handle(scenario, spec, tag, payload)
     return records

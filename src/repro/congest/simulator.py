@@ -8,7 +8,23 @@ the per-component aggregation ``Aprocess`` (Appendix A, Corollary A.2).
 
 Vertex algorithms are written as callables ``program(vertex, state, inbox) ->
 {neighbor: message}``; the simulator runs them a round at a time, enforcing
-the per-edge message-size limit (messages must be small tuples of ints).
+the per-edge message-size limit.  Message sizes follow the shared word
+convention (:func:`~repro.exec.payload_words`): tuples/lists count ``len``,
+dicts/sets/strings are sized by content, and payload types the model cannot
+size are rejected under ``strict=True`` instead of slipping past the
+O(log n)-bit limit as "one word".
+
+Within a round the vertex programs are independent, so :meth:`round` has a
+chunked execution path mirroring the MPC simulator's: vertex ids are
+partitioned into contiguous chunks run via a pluggable
+:class:`~repro.exec.Executor` (serial by default, process pool when the
+program pickles; state dicts are shipped back explicitly), with outboxes
+merged at the barrier in vertex order.  The message exchange itself has a
+NumPy fast path over the CSR graph backend: when a round's messages are the
+small int tuples the matching programs actually send, edge validation runs
+as one whole-round array pass
+(:meth:`~repro.graph.backends.CSRBackend.edge_mask`) instead of per-message
+``has_edge`` calls (sizing stays :func:`~repro.exec.payload_words`-exact).
 """
 
 from __future__ import annotations
@@ -16,6 +32,10 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.exec import PicklabilityProbe, contiguous_chunks, payload_words, resolve_executor
+from repro.exec.executor import Executor, ExecutorSpec
+from repro.exec.pool import run_vertex_chunk
+from repro.graph.backends import CSRBackend, _np
 from repro.graph.graph import Graph
 from repro.instrumentation.counters import Counters
 
@@ -26,42 +46,118 @@ VertexProgram = Callable[[int, dict, Inbox], Outbox]
 #: messages are limited to this many machine words (= O(log n) bits each)
 MAX_MESSAGE_WORDS = 4
 
+#: minimum number of messages in a round before the vectorized exchange
+#: validation pays for its array setup
+_FAST_PATH_MIN_MESSAGES = 32
+
 
 class MessageTooLarge(RuntimeError):
     """Raised when a vertex tries to send more than O(log n) bits on an edge."""
 
 
 class CongestSimulator:
-    """Synchronous message passing on the edges of a fixed graph."""
+    """Synchronous message passing on the edges of a fixed graph.
+
+    ``executor`` / ``chunks`` mirror :class:`~repro.mpc.simulator.MPCSimulator`:
+    ``None`` keeps the sequential in-process loop, an int worker count /
+    ``"process"`` / an :class:`~repro.exec.Executor` enables chunked rounds.
+    A process pool is only used when the program pickles (closures fall back
+    to the sequential loop); per-vertex ``state`` keeps working either way
+    because chunk results carry the state dicts back across the boundary.
+    """
 
     def __init__(self, graph: Graph, counters: Optional[Counters] = None,
-                 strict: bool = True) -> None:
+                 strict: bool = True, executor: ExecutorSpec = None,
+                 chunks: Optional[int] = None) -> None:
         self.graph = graph
         self.counters = counters if counters is not None else Counters()
         self.strict = strict
+        self._executor: Optional[Executor] = (
+            None if executor is None else resolve_executor(executor))
+        # close() must not tear down a pool the caller owns and may share
+        self._owns_executor = (self._executor is not None
+                               and not isinstance(executor, Executor))
+        self._chunks = chunks
+        self._picklable = PicklabilityProbe()
         #: per-vertex local state dictionaries, freely usable by programs
         self.state: List[dict] = [dict() for _ in range(graph.n)]
         self._inboxes: List[Inbox] = [dict() for _ in range(graph.n)]
 
     # ----------------------------------------------------------------- rounds
-    def round(self, program: VertexProgram) -> None:
-        """Run one synchronous round of ``program`` on every vertex."""
+    def _execute_programs(self, program: VertexProgram) -> List[Outbox]:
+        """Run the program on every vertex; outboxes in vertex order."""
+        executor = self._executor
+        if executor is not None and executor.parallelism > 1 \
+                and not self._picklable(program):
+            executor = None  # closures can't cross a process boundary
+        n = self.graph.n
+        if executor is None:
+            return [program(v, self.state[v], self._inboxes[v]) or {}
+                    for v in range(n)]
+        spans = contiguous_chunks(
+            n, self._chunks or executor.chunks_for(n))
+        tasks = [(program, start, self.state[start:stop],
+                  self._inboxes[start:stop])
+                 for start, stop in spans]
         outboxes: List[Outbox] = []
-        for v in range(self.graph.n):
-            out = program(v, self.state[v], self._inboxes[v]) or {}
+        for (start, stop), (chunk_out, chunk_state) in zip(
+                spans, executor.map(run_vertex_chunk, tasks)):
+            outboxes.extend(chunk_out)
+            # mutated state must travel back explicitly (process mode); in
+            # serial mode these are the same dict objects, so this is a no-op
+            self.state[start:stop] = chunk_state
+        return outboxes
+
+    def _validate_outboxes(self, outboxes: List[Outbox]) -> int:
+        """Edge-validate and size-check every message; returns message count.
+
+        Edge validation uses one whole-round ``edge_mask`` array pass on the
+        CSR backend when every message is a tuple/list (the int-tuple
+        encoding the matching programs use); otherwise it falls back to
+        per-message ``has_edge`` calls.  Size checks are always the exact
+        recursive :func:`~repro.exec.payload_words` rule.
+        """
+        senders: List[int] = []
+        dests: List[int] = []
+        messages: List[object] = []
+        for v, out in enumerate(outboxes):
             for dest, message in out.items():
+                senders.append(v)
+                dests.append(dest)
+                messages.append(message)
+
+        fast = (_np is not None
+                and len(messages) >= _FAST_PATH_MIN_MESSAGES
+                and isinstance(self.graph.backend, CSRBackend)
+                and all(isinstance(m, (tuple, list)) for m in messages))
+        if fast:
+            ok = self.graph.edge_mask(senders, dests)
+            if not bool(ok.all()):
+                bad = int(_np.argmin(ok))
+                raise ValueError(
+                    f"vertex {senders[bad]} tried to message non-neighbor "
+                    f"{dests[bad]}")
+            # sizing stays payload_words-exact (recursive): nesting must not
+            # smuggle data past the limit on the fast path either
+            for message in messages:
+                self._check_size(message)
+        else:
+            for v, dest, message in zip(senders, dests, messages):
                 if not self.graph.has_edge(v, dest):
                     raise ValueError(
                         f"vertex {v} tried to message non-neighbor {dest}")
                 self._check_size(message)
-            outboxes.append(out)
+        return len(messages)
+
+    def round(self, program: VertexProgram) -> None:
+        """Run one synchronous round of ``program`` on every vertex."""
+        outboxes = self._execute_programs(program)
+        total = self._validate_outboxes(outboxes)
 
         new_inboxes: List[Inbox] = [dict() for _ in range(self.graph.n)]
-        total = 0
         for v, out in enumerate(outboxes):
             for dest, message in out.items():
                 new_inboxes[dest][v] = message
-                total += 1
         self._inboxes = new_inboxes
         self.counters.add("congest_rounds")
         self.counters.add("congest_messages", total)
@@ -83,14 +179,30 @@ class CongestSimulator:
         self.counters.add("congest_aggregation_rounds", 2 * max(1, component_size))
 
     def _check_size(self, message: object) -> None:
-        words = 1
-        if isinstance(message, (tuple, list)):
-            words = len(message)
+        words = payload_words(message)
+        if words is None:
+            # a payload the word model cannot size (arbitrary object): it
+            # must not slip past the O(log n)-bit limit as "one word"
+            self.counters.add("congest_message_violations")
+            if self.strict:
+                raise MessageTooLarge(
+                    f"cannot size a {type(message).__name__} payload; "
+                    "CONGEST messages must be tuples of O(log n)-bit words")
+            return
         if words > MAX_MESSAGE_WORDS:
             self.counters.add("congest_message_violations")
             if self.strict:
                 raise MessageTooLarge(
                     f"message of {words} words exceeds the O(log n)-bit limit")
+
+    def close(self) -> None:
+        """Release executor workers this simulator created.
+
+        A caller-supplied :class:`~repro.exec.Executor` instance is left
+        running -- it may be shared with other simulators.
+        """
+        if self._executor is not None and self._owns_executor:
+            self._executor.close()
 
     @property
     def rounds(self) -> int:

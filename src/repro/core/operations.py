@@ -144,7 +144,11 @@ def contract_op(state: PhaseState, u: int, v: int) -> StructNode:
         path_v.append(node)
     assert lca is not None, "two nodes of one tree always have an LCA"
     path_u = ancestors_u[: ancestor_ids[id(lca)]]
-    absorbed = set(path_u) | set(path_v) | {lca}
+    # ordered and duplicate-free: blossom vertex order (hence derived-graph
+    # iteration downstream) must be determined by the tree paths, not by the
+    # address-hash order a set of nodes would impose
+    absorbed = list(dict.fromkeys(path_u + path_v + [lca]))
+    absorbed_set = set(absorbed)
 
     # --- build the blossom node -------------------------------------------
     blossom_vertices: List[int] = []
@@ -160,7 +164,7 @@ def contract_op(state: PhaseState, u: int, v: int) -> StructNode:
         structure.root = new_node
     for node in absorbed:
         for child in node.children:
-            if child not in absorbed:
+            if child not in absorbed_set:
                 child.parent = new_node
                 new_node.children.append(child)
     for node in absorbed:

@@ -41,6 +41,44 @@ Edge = Tuple[int, int]
 _node_ids = itertools.count()
 
 
+class OrderedNodeSet:
+    """Insertion-ordered set of :class:`StructNode`\\ s.
+
+    Iteration order must be determined by the algorithm alone: structures
+    are walked when collecting outer vertices, so a plain ``set`` (iterated
+    in object-address hash order) made seeded runs diverge between processes
+    -- the parallel bench runner exposed exactly that.  A dict preserves
+    insertion order; membership stays identity-based like the set it
+    replaces.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable["StructNode"] = ()) -> None:
+        self._items: Dict["StructNode", None] = dict.fromkeys(items)
+
+    def add(self, node: "StructNode") -> None:
+        self._items[node] = None
+
+    def discard(self, node: "StructNode") -> None:
+        self._items.pop(node, None)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._items
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"OrderedNodeSet({list(self._items)!r})"
+
+
 class StructNode:
     """A vertex of the contracted graph ``G'`` inside some structure.
 
@@ -105,7 +143,7 @@ class Structure:
         self.alpha = alpha
         self.root = StructNode([alpha], alpha, outer=True, structure=self)
         self.working: Optional[StructNode] = self.root
-        self.nodes: Set[StructNode] = {self.root}
+        self.nodes: OrderedNodeSet = OrderedNodeSet((self.root,))
         self.g_vertices: Set[int] = {alpha}
         self.on_hold = False
         self.modified = False

@@ -1,0 +1,37 @@
+"""Contiguous chunk partitioning for simulator rounds.
+
+A round over ``count`` machines/vertices is split into contiguous id ranges
+so that (a) each chunk ships one slice of the per-id state to a worker, and
+(b) merging chunk results back in chunk order reproduces the exact iteration
+order of the sequential loop -- the determinism contract of the execution
+layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def contiguous_chunks(count: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(count)`` into ``chunks`` contiguous ``(start, stop)`` runs.
+
+    Sizes differ by at most one (the first ``count % chunks`` runs are one
+    longer), every id is covered exactly once, and runs are returned in
+    ascending order.  Empty runs are never produced: asking for more chunks
+    than items yields ``count`` singleton runs.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return []
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    chunks = min(chunks, count)
+    base, extra = divmod(count, chunks)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(chunks):
+        stop = start + base + (1 if i < extra else 0)
+        out.append((start, stop))
+        start = stop
+    return out

@@ -1,0 +1,180 @@
+"""Executors: where a batch of independent tasks actually runs.
+
+The protocol is intentionally tiny -- an ordered ``map`` plus a worker-count
+hint -- because everything the simulators and the bench runner need reduces
+to "run these independent thunks and give me the results back in order".
+
+``SerialExecutor`` is the default everywhere: it runs inline, costs nothing,
+and keeps single-process semantics (shared mutable state keeps working).
+``ProcessExecutor`` fans out across cores via
+:class:`concurrent.futures.ProcessPoolExecutor`; callers must only hand it
+picklable callables and task payloads (:func:`is_picklable` probes that), and
+must treat task inputs as read-only -- worker-side mutation never propagates
+back.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import weakref
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def is_picklable(obj: object) -> bool:
+    """Whether ``obj`` survives ``pickle.dumps`` (process-pool eligibility).
+
+    Closures, lambdas and locally defined functions -- the way most simulator
+    round programs are written -- are *not* picklable, so chunked rounds fall
+    back to serial execution for them instead of crashing in the pool.
+    """
+    try:
+        pickle.dumps(obj)
+    except Exception:  # noqa: BLE001 - any pickling failure means "no"
+        return False
+    return True
+
+
+class PicklabilityProbe:
+    """:func:`is_picklable` memoized per object (weakly keyed).
+
+    A simulator asks the same question about the same program every round;
+    actually pickling it each time would serialize everything the callable
+    captures once per round.  Objects that cannot be weakly referenced or
+    hashed are probed directly (correct, just uncached).
+    """
+
+    def __init__(self) -> None:
+        self._cache: "weakref.WeakKeyDictionary[object, bool]" = (
+            weakref.WeakKeyDictionary())
+
+    def __call__(self, obj: object) -> bool:
+        try:
+            return self._cache[obj]
+        except (KeyError, TypeError):
+            pass
+        result = is_picklable(obj)
+        try:
+            self._cache[obj] = result
+        except TypeError:
+            pass
+        return result
+
+
+def default_worker_count() -> int:
+    """CPU count with a floor of 1 (what ``ProcessExecutor()`` defaults to)."""
+    return max(1, os.cpu_count() or 1)
+
+
+class Executor(ABC):
+    """Ordered-``map`` execution protocol.
+
+    Implementations must return results in submission order (the determinism
+    contract every merge step relies on) and must propagate task exceptions
+    to the caller of :meth:`map`.
+    """
+
+    #: how many tasks can make progress at once (1 for serial execution);
+    #: chunked callers use it to pick a chunk count.
+    parallelism: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        """Run ``fn`` over ``tasks``; results in submission order."""
+
+    def chunks_for(self, count: int) -> int:
+        """How many contiguous chunks to split ``count`` items into.
+
+        A couple of chunks per worker keeps the pool busy when chunks finish
+        unevenly, without drowning the round in per-chunk overhead.
+        """
+        if count <= 0:
+            return 0
+        return max(1, min(count, 2 * self.parallelism))
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run everything inline in the calling process (the default)."""
+
+    parallelism = 1
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        return [fn(task) for task in tasks]
+
+    def chunks_for(self, count: int) -> int:
+        # one chunk: chunking without parallelism is pure overhead
+        return 1 if count > 0 else 0
+
+
+class ProcessExecutor(Executor):
+    """A :class:`concurrent.futures.ProcessPoolExecutor` behind the protocol.
+
+    The pool is created lazily on first :meth:`map` and reused until
+    :meth:`close`, so a simulator can run thousands of rounds without paying
+    process start-up per round.  ``fn`` and every task must be picklable.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.parallelism = max_workers or default_worker_count()
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.parallelism)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        if not tasks:
+            return []
+        if len(tasks) == 1:  # don't pay IPC for a single task
+            return [fn(tasks[0])]
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+ExecutorSpec = Union[None, int, str, Executor]
+
+
+def resolve_executor(spec: ExecutorSpec) -> Executor:
+    """Turn a user-facing executor spec into an :class:`Executor`.
+
+    ``None`` / ``"serial"`` / ``1`` mean inline serial execution; an int > 1
+    or ``"process"`` mean a process pool; an :class:`Executor` instance
+    passes through unchanged.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, int):
+        return SerialExecutor() if spec <= 1 else ProcessExecutor(spec)
+    if isinstance(spec, str):
+        if spec == "serial":
+            return SerialExecutor()
+        if spec == "process":
+            return ProcessExecutor()
+        raise ValueError(
+            f"unknown executor {spec!r}; expected 'serial', 'process', "
+            "an int worker count, or an Executor instance")
+    raise TypeError(f"cannot resolve an executor from {type(spec).__name__}")

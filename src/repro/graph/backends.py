@@ -166,6 +166,24 @@ class GraphBackend(ABC):
         or a set; implementations must not assume an order beyond iterating
         it once)."""
 
+    def edge_mask(self, u, v):
+        """Vectorized :meth:`has_edge` over endpoint arrays (requires NumPy).
+
+        ``u``/``v`` are equal-length int sequences; returns a boolean array
+        with ``False`` (never an exception) for out-of-range endpoints and
+        self-loops, mirroring :meth:`has_edge`.  The reference implementation
+        loops; CSR answers whole batches with a few array passes -- this is
+        the hook the CONGEST message-exchange fast path validates against.
+        """
+        np = require_numpy("GraphBackend.edge_mask")
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("endpoint arrays must have the same length")
+        return np.fromiter(
+            (self.has_edge(int(a), int(b)) for a, b in zip(u, v)),
+            dtype=bool, count=u.size)
+
     # --------------------------------------------------------------- numerics
     def adjacency_matrix(self):
         """Dense boolean adjacency matrix (requires NumPy)."""
@@ -487,6 +505,33 @@ class CSRBackend(GraphBackend):
         mask[list(vertices)] = True
         sel = mask[u] & mask[v]
         return list(zip(u[sel].tolist(), v[sel].tolist()))
+
+    def edge_mask(self, u, v):
+        """Batch membership against the sorted key array (a few numpy passes).
+
+        Canonicalises each pair to its ``u*n+v`` key and binary-searches the
+        compiled sorted key array; invalid pairs (range / self-loop) are
+        masked ``False`` before the search so their keys never alias a real
+        edge's key.
+        """
+        np = _np
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("endpoint arrays must have the same length")
+        if u.size == 0:
+            return np.zeros(0, dtype=bool)
+        keys = self._compile_keys()
+        valid = ((u >= 0) & (u < self._n) & (v >= 0) & (v < self._n)
+                 & (u != v))
+        if keys.size == 0 or not valid.any():
+            return valid & False
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        cand = np.where(valid, lo * self._n + hi, keys[0])
+        pos = np.searchsorted(keys, cand)
+        pos = np.minimum(pos, keys.size - 1)
+        return valid & (keys[pos] == cand)
 
     # --------------------------------------------------------------- numerics
     def adjacency_matrix(self):

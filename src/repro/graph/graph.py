@@ -130,6 +130,16 @@ class Graph:
         """Whether edge ``{u, v}`` is present."""
         return self._backend.has_edge(u, v)
 
+    def edge_mask(self, u, v):
+        """Vectorized :meth:`has_edge` over endpoint arrays (requires NumPy).
+
+        Returns a boolean array; invalid pairs are ``False``, never an
+        exception.  O(1)-per-pair array passes on CSR, a reference loop on
+        other backends -- the CONGEST simulator uses it to validate a whole
+        round's messages at once.
+        """
+        return self._backend.edge_mask(u, v)
+
     def neighbors(self, v: int) -> Set[int]:
         """The adjacency set of ``v`` (do not mutate)."""
         return self._backend.neighbors(v)

@@ -14,7 +14,7 @@ so that parallel benchmark runs never interfere.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, Mapping, Optional
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Union
 
 
 class Counters:
@@ -68,10 +68,29 @@ class Counters:
         else:
             self._counts.pop(name, None)
 
-    def merge(self, other: "Counters") -> None:
-        """Add every counter of ``other`` into this bag."""
-        for key, value in other._counts.items():
-            self._counts[key] += value
+    def merge(self, other: Union["Counters", Mapping[str, float]]) -> None:
+        """Add every counter of ``other`` (a bag or a plain mapping) into this.
+
+        Accepting mappings is what lets parallel workers ship snapshots home
+        as plain dicts (the JSON-record form) and the parent recombine them
+        exactly: counters are pure sums, so a partitioned run merges to the
+        same totals as a serial one.
+        """
+        items = other._counts.items() if isinstance(other, Counters) else other.items()
+        for key, value in items:
+            self._counts[str(key)] += value
+
+    @classmethod
+    def from_dict(cls, counts: Mapping[str, float]) -> "Counters":
+        """Rebuild a bag from a worker snapshot (``as_dict`` round-trip)."""
+        c = cls()
+        c.merge(counts)
+        return c
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return dict(self._counts) == dict(other._counts)
 
     def snapshot(self) -> "Counters":
         c = Counters()

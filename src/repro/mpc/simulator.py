@@ -9,8 +9,20 @@ the Theta(1)-approximate matching oracle and the clean-up steps take.
 :class:`MPCSimulator` therefore simulates the round structure and accounts for
 memory and communication, executing "machine programs" written as Python
 callables.  It mirrors the message-passing style of the mpi4py guide
-(synchronous supersteps, explicit exchanged messages) while staying
-single-process.
+(synchronous supersteps, explicit exchanged messages).
+
+Within a round the machine programs are independent -- exactly the structure
+one-sided-MPI supersteps exploit -- so :meth:`MPCSimulator.round` has a
+chunked execution path: machine ids are partitioned into contiguous chunks
+handed to a pluggable :class:`~repro.exec.Executor` (serial by default, a
+process pool when the program pickles), and the outboxes are merged at the
+superstep barrier in machine order, so counters and delivery order are
+identical to the sequential loop.
+
+Word accounting: the budget ``S`` and the ``mpc_messages`` counter are in
+*words*, so every payload is sized via :func:`~repro.exec.payload_words`
+(tuples/lists count ``len``, scalars 1) on both the send and the receive side
+-- one message is *not* one word.
 """
 
 from __future__ import annotations
@@ -19,6 +31,9 @@ import math
 from collections import defaultdict
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.exec import PicklabilityProbe, contiguous_chunks, payload_words, resolve_executor
+from repro.exec.executor import Executor, ExecutorSpec
+from repro.exec.pool import run_machine_chunk
 from repro.instrumentation.counters import Counters
 
 Message = Tuple[int, object]  # (destination machine, payload)
@@ -44,17 +59,38 @@ class MPCSimulator:
     strict:
         When true, exceeding ``S`` raises :class:`MemoryExceeded`; otherwise
         the violation is only recorded in ``mpc_memory_violations``.
+    executor:
+        Where the machine programs of a round run: ``None`` (default) keeps
+        the sequential in-process loop; an int worker count, ``"process"`` or
+        an :class:`~repro.exec.Executor` instance enables the chunked path.
+        A process pool is only used when the round's program pickles --
+        closures fall back to the sequential loop transparently.  Chunked
+        programs must treat machine storage as read-only during the round
+        (communicate through messages); counters stay exact either way.
+    chunks:
+        Override how many contiguous machine chunks a round is split into
+        (default: the executor's own sizing).
     """
 
     def __init__(self, num_machines: int, memory_per_machine: Optional[int] = None,
-                 counters: Optional[Counters] = None, strict: bool = True) -> None:
+                 counters: Optional[Counters] = None, strict: bool = True,
+                 executor: ExecutorSpec = None,
+                 chunks: Optional[int] = None) -> None:
         if num_machines <= 0:
             raise ValueError("need at least one machine")
         self.num_machines = num_machines
         self.memory_per_machine = memory_per_machine
         self.counters = counters if counters is not None else Counters()
         self.strict = strict
-        # local storage of each machine: a list of words (arbitrary objects)
+        self._executor: Optional[Executor] = (
+            None if executor is None else resolve_executor(executor))
+        # close() must not tear down a pool the caller owns and may share
+        self._owns_executor = (self._executor is not None
+                               and not isinstance(executor, Executor))
+        self._chunks = chunks
+        self._picklable = PicklabilityProbe()
+        # local storage of each machine: a list of payloads, each sized in
+        # words by payload_words (unknown objects count 1)
         self.storage: List[List[object]] = [[] for _ in range(num_machines)]
 
     # ------------------------------------------------------------------ setup
@@ -71,34 +107,61 @@ class MPCSimulator:
         return v % self.num_machines
 
     # ----------------------------------------------------------------- rounds
+    def _execute_programs(
+            self, program: Callable[[int, List[object]], Iterable[Message]]
+    ) -> List[List[Message]]:
+        """Run the program on every machine; outboxes in machine order."""
+        executor = self._executor
+        if executor is not None and executor.parallelism > 1 \
+                and not self._picklable(program):
+            executor = None  # closures can't cross a process boundary
+        if executor is None:
+            return [list(program(machine_id, self.storage[machine_id]))
+                    for machine_id in range(self.num_machines)]
+        spans = contiguous_chunks(
+            self.num_machines,
+            self._chunks or executor.chunks_for(self.num_machines))
+        tasks = [(program, start, self.storage[start:stop])
+                 for start, stop in spans]
+        outboxes: List[List[Message]] = []
+        for chunk_result in executor.map(run_machine_chunk, tasks):
+            outboxes.extend(chunk_result)
+        return outboxes
+
     def round(self,
               program: Callable[[int, List[object]], Iterable[Message]]) -> None:
         """Execute one synchronous round.
 
         ``program(machine_id, local_items)`` runs on every machine and returns
         the messages to deliver; messages are exchanged at the end of the
-        round and appended to the recipients' local storage.
+        round (the superstep barrier) and appended to the recipients' local
+        storage.  Send and receive volumes are accounted in *words*
+        (:func:`~repro.exec.payload_words`; unknown objects count 1) against
+        the budget ``S``, and their total is charged to ``mpc_messages``.
         """
-        outboxes: List[List[Message]] = []
-        for machine_id in range(self.num_machines):
-            msgs = list(program(machine_id, self.storage[machine_id]))
-            outboxes.append(msgs)
+        outboxes = self._execute_programs(program)
 
-        inboxes: Dict[int, List[object]] = defaultdict(list)
+        # barrier: merge outboxes in machine order (deterministic regardless
+        # of how the programs were executed), sizing each payload once
+        inboxes: Dict[int, List[Tuple[object, int]]] = defaultdict(list)
         total_words = 0
         for machine_id, msgs in enumerate(outboxes):
-            sent = len(msgs)
-            total_words += sent
-            if self.memory_per_machine is not None and sent > self.memory_per_machine:
-                self._violation(machine_id, sent)
+            sent_words = 0
             for dest, payload in msgs:
-                inboxes[dest].append(payload)
-
-        for dest, payloads in inboxes.items():
+                words = payload_words(payload, default=1)
+                sent_words += words
+                inboxes[dest].append((payload, words))
+            total_words += sent_words
             if (self.memory_per_machine is not None
-                    and len(payloads) > self.memory_per_machine):
-                self._violation(dest, len(payloads))
-            self.storage[dest].extend(payloads)
+                    and sent_words > self.memory_per_machine):
+                self._violation(machine_id, sent_words)
+
+        for dest, sized_payloads in inboxes.items():
+            received_words = sum(words for _, words in sized_payloads)
+            if (self.memory_per_machine is not None
+                    and received_words > self.memory_per_machine):
+                self._violation(dest, received_words)
+            self.storage[dest].extend(payload for payload, _ in sized_payloads)
 
         self.counters.add("mpc_rounds")
         self.counters.add("mpc_messages", total_words)
@@ -107,12 +170,27 @@ class MPCSimulator:
     def broadcast_round(self, values_by_machine: Sequence[object]) -> List[object]:
         """Convenience: every machine publishes one value; all machines see all.
 
-        Costs one round and M^2 words (a clique exchange); only used for small
-        coordination payloads (O(M) << S words).
+        Costs one round; the clique exchange replicates every value to all
+        ``M`` machines, so it is charged ``M * sum(words(value))`` words and
+        runs through the same word-sized budget checks as :meth:`round`:
+        machine ``i`` sends ``M * words(value_i)`` and every machine receives
+        ``sum(words(value))``, both of which must fit in ``S``.
         """
+        values = list(values_by_machine)
+        value_words = [payload_words(value, default=1) for value in values]
+        total_value_words = sum(value_words)
+        if self.memory_per_machine is not None:
+            for machine_id, words in enumerate(value_words):
+                sent_words = words * self.num_machines
+                if sent_words > self.memory_per_machine:
+                    self._violation(machine_id, sent_words)
+            if total_value_words > self.memory_per_machine:
+                for machine_id in range(self.num_machines):
+                    self._violation(machine_id, total_value_words)
         self.counters.add("mpc_rounds")
-        self.counters.add("mpc_messages", self.num_machines * len(values_by_machine))
-        return list(values_by_machine)
+        self.counters.add("mpc_messages", self.num_machines * total_value_words)
+        self._check_memory()
+        return values
 
     # --------------------------------------------------------------- internal
     def _violation(self, machine_id: int, amount: int) -> None:
@@ -123,11 +201,36 @@ class MPCSimulator:
                 f"(budget {self.memory_per_machine})")
 
     def _check_memory(self) -> None:
-        if self.memory_per_machine is None:
+        """Check every machine's *stored words* (not item count) against S.
+
+        Storage accumulates across rounds, so multi-word payloads must keep
+        counting word-sized here too -- otherwise two 4-word tuples would
+        occupy 8 words while registering as 2 items.  The walk cannot be
+        cached incrementally because callers legitimately mutate ``storage``
+        between rounds; sizing stops as soon as a machine is over budget,
+        and a compliant machine holds at most S words, so the cost per round
+        is bounded by the stored input size.
+        """
+        budget = self.memory_per_machine
+        if budget is None:
             return
         for machine_id, items in enumerate(self.storage):
-            if len(items) > self.memory_per_machine:
-                self._violation(machine_id, len(items))
+            words = 0
+            for item in items:
+                words += payload_words(item, default=1)
+                if words > budget:
+                    break
+            if words > budget:
+                self._violation(machine_id, words)
+
+    def close(self) -> None:
+        """Release executor workers this simulator created.
+
+        A caller-supplied :class:`~repro.exec.Executor` instance is left
+        running -- it may be shared with other simulators.
+        """
+        if self._executor is not None and self._owns_executor:
+            self._executor.close()
 
     # ------------------------------------------------------------------ stats
     @property

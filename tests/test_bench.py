@@ -222,8 +222,10 @@ class TestDiscovery:
     def test_run_cli_rejects_unknown_workload(self, tmp_path, monkeypatch,
                                               capsys):
         monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        # the scenario itself raises on the unknown value; that is an
+        # isolated per-scenario failure (exit 1), and nothing gets written
         assert cli.main(["run", "--scenario", "backends", "--smoke",
-                         "--workload", "uniform-100K"]) == 2  # wrong case
+                         "--workload", "uniform-100K"]) == 1  # wrong case
         assert "unknown backends workload" in capsys.readouterr().err
         assert not (tmp_path / "BENCH_backends.json").exists()
 
@@ -253,14 +255,20 @@ class TestDiscovery:
 
 # --------------------------------------------------------------- smoke gate
 def test_smoke_gate_all_scenarios(tmp_path):
-    """Every registered scenario stays runnable in seconds (CI smoke gate)."""
+    """Every registered scenario stays runnable in seconds (CI smoke gate).
+
+    Runs with ``--jobs 2`` so the multi-process execution path (worker spec
+    dispatch, record merge-back, counter snapshots) is exercised on every
+    tier-1 run, not just in its unit tests.
+    """
     env = dict(os.environ)
     env["REPRO_BENCH_SMOKE"] = "1"
     env["REPRO_BENCH_OUT"] = str(tmp_path)
     env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
                          + os.pathsep + env.get("PYTHONPATH", ""))
     result = subprocess.run(
-        [sys.executable, "-m", "repro.bench", "run", "--all", "--smoke"],
+        [sys.executable, "-m", "repro.bench", "run", "--all", "--smoke",
+         "--jobs", "2"],
         capture_output=True, text=True, timeout=240, env=env, cwd=REPO_ROOT)
     assert result.returncode == 0, result.stderr + result.stdout
     records = load_records(tmp_path / "BENCH_all.json")

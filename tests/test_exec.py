@@ -1,0 +1,519 @@
+"""Tests for the execution layer (``repro.exec``) and its integrations.
+
+Covers chunk partitioning, the word-size convention, executor resolution and
+ordering, chunked MPC/CONGEST rounds (serial and process-pool, including the
+closure fallback and state shipping), the CSR message-exchange fast path, and
+the bench runner's ``--jobs`` path: deterministic records, exact counter
+merges, and per-scenario crash isolation.
+"""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.bench import registry, runner
+from repro.congest.simulator import (
+    _FAST_PATH_MIN_MESSAGES,
+    CongestSimulator,
+    MessageTooLarge,
+)
+from repro.exec import (
+    ProcessExecutor,
+    SerialExecutor,
+    contiguous_chunks,
+    is_picklable,
+    payload_words,
+    resolve_executor,
+)
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.instrumentation.counters import Counters
+from repro.mpc.simulator import MPCSimulator
+
+
+# ----------------------------------------------------------------- chunking
+class TestChunking:
+    def test_partition_covers_exactly_once_in_order(self):
+        for count in (1, 2, 7, 16, 100):
+            for chunks in (1, 2, 3, count, count + 5):
+                spans = contiguous_chunks(count, chunks)
+                flat = [i for start, stop in spans for i in range(start, stop)]
+                assert flat == list(range(count))
+                sizes = [stop - start for start, stop in spans]
+                assert max(sizes) - min(sizes) <= 1
+                assert 0 not in sizes
+
+    def test_empty_and_invalid(self):
+        assert contiguous_chunks(0, 3) == []
+        with pytest.raises(ValueError):
+            contiguous_chunks(-1, 2)
+        with pytest.raises(ValueError):
+            contiguous_chunks(5, 0)
+
+
+# -------------------------------------------------------------------- words
+class TestPayloadWords:
+    def test_convention(self):
+        assert payload_words((1, 2, 3)) == 3
+        assert payload_words([1, 2]) == 2
+        assert payload_words(()) == 1          # floor of one word
+        assert payload_words(7) == 1
+        assert payload_words(None) == 1
+        assert payload_words({"a": 1, "b": 2}) == 4
+        assert payload_words({1, 2, 3}) == 3
+        assert payload_words("tiny") == 1
+        assert payload_words("x" * 80) == 10   # 8 bytes per word
+
+    def test_nesting_cannot_smuggle_words(self):
+        # sizing is recursive: wrapping a big payload in a container must
+        # not shrink it to the container's length
+        assert payload_words((tuple(range(100)),)) == 100
+        assert payload_words({"k": tuple(range(100))}) == 101
+        assert payload_words([[1, 2], [3, 4, 5]]) == 5
+        assert payload_words(("tag", ("x" * 80,))) == 11
+
+    def test_strings_sized_by_encoded_bytes(self):
+        # 32 CJK chars are ~96 UTF-8 bytes, not 32: 12 words, not 4
+        assert payload_words("日" * 32) == 12
+        assert payload_words(b"\xff" * 16) == 2
+
+    def test_unknown_type_uses_default(self):
+        class Opaque:
+            pass
+
+        assert payload_words(Opaque()) is None
+        assert payload_words(Opaque(), default=1) == 1
+        # an unsizable element poisons its container under the strict rule
+        assert payload_words((1, Opaque())) is None
+        assert payload_words((1, Opaque()), default=1) == 2
+
+
+# ---------------------------------------------------------------- executors
+def _square(x):
+    return x * x
+
+
+class TestExecutors:
+    def test_serial_map_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_process_map_order(self):
+        with ProcessExecutor(2) as ex:
+            assert ex.map(_square, list(range(10))) == [i * i for i in range(10)]
+
+    def test_resolve(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor(1), SerialExecutor)
+        ex = resolve_executor(3)
+        assert isinstance(ex, ProcessExecutor) and ex.parallelism == 3
+        assert resolve_executor(ex) is ex
+        with pytest.raises(ValueError):
+            resolve_executor("threads")
+        with pytest.raises(TypeError):
+            resolve_executor(1.5)
+
+    def test_is_picklable(self):
+        assert is_picklable(_square)
+        assert not is_picklable(lambda x: x)
+
+    def test_picklability_probe_caches_per_object(self, monkeypatch):
+        import repro.exec.executor as executor_mod
+        from repro.exec import PicklabilityProbe
+
+        calls = []
+        real = executor_mod.is_picklable
+        monkeypatch.setattr(executor_mod, "is_picklable",
+                            lambda obj: (calls.append(obj), real(obj))[1])
+        probe = PicklabilityProbe()
+        assert probe(_square) is True
+        assert probe(_square) is True
+        assert len(calls) == 1          # second answer came from the cache
+        assert probe(lambda x: x) is False
+
+
+# ------------------------------------------------------- chunked MPC rounds
+def _mpc_echo_program(machine_id, items):
+    """Picklable machine program: forward each item to the next machine."""
+    return [((machine_id + 1) % 4, ("item", machine_id, item))
+            for item in items]
+
+
+class TestChunkedMPC:
+    def _run(self, **sim_kwargs):
+        counters = Counters()
+        sim = MPCSimulator(4, counters=counters, **sim_kwargs)
+        sim.scatter(list(range(8)))
+        sim.round(_mpc_echo_program)
+        sim.close()
+        return [list(s) for s in sim.storage], counters.as_dict()
+
+    def test_chunked_serial_matches_inline(self):
+        baseline = self._run()
+        chunked = self._run(executor="serial", chunks=3)
+        assert chunked == baseline
+
+    def test_process_pool_matches_inline(self):
+        baseline = self._run()
+        pooled = self._run(executor=2)
+        assert pooled == baseline
+
+    def test_close_leaves_shared_executor_running(self):
+        # a caller-owned executor may be shared between simulators; close()
+        # must only tear down pools the simulator created itself
+        shared = SerialExecutor()
+        sim_a = MPCSimulator(2, executor=shared)
+        sim_b = MPCSimulator(2, executor=shared)
+        closed = []
+        shared.close = lambda: closed.append(True)  # type: ignore[assignment]
+        sim_a.close()
+        sim_b.close()
+        assert not closed
+        owned = MPCSimulator(2, executor=2)
+        owned.close()  # owns the resolved ProcessExecutor: must not raise
+
+    def test_closure_falls_back_to_inline(self):
+        # a closure cannot cross a process boundary; the round must still
+        # run (inline) and its nonlocal mutation must be visible
+        seen = []
+        sim = MPCSimulator(3, executor=2)
+        sim.scatter([10, 11, 12])
+
+        def program(machine_id, items):
+            seen.append(machine_id)
+            return []
+
+        sim.round(program)
+        sim.close()
+        assert seen == [0, 1, 2]
+
+
+# --------------------------------------------------- chunked CONGEST rounds
+def _congest_state_program(v, state, inbox):
+    """Picklable vertex program: record the round locally, ping neighbors."""
+    state["rounds_seen"] = state.get("rounds_seen", 0) + 1
+    return {}
+
+
+class TestChunkedCongest:
+    def test_process_pool_ships_state_back(self):
+        g = erdos_renyi(12, 0.3, seed=0)
+        sim = CongestSimulator(g, executor=2)
+        sim.round(_congest_state_program)
+        sim.round(_congest_state_program)
+        sim.close()
+        assert all(st.get("rounds_seen") == 2 for st in sim.state)
+
+    def test_chunked_matches_inline_messages(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+
+        def run(**kwargs):
+            counters = Counters()
+            sim = CongestSimulator(g, counters=counters, **kwargs)
+
+            def program(v, state, inbox):
+                return {w: (v, w) for w in g.neighbors(v)}
+
+            sim.round(program)
+            sim.round(lambda v, state, inbox: {})
+            inbox_snapshot = [dict(i) for i in sim._inboxes]
+            sim.close()
+            return counters.as_dict(), inbox_snapshot
+
+        # closures force the inline path even with an executor configured,
+        # so this exercises the chunked *serial* execution seam
+        assert run() == run(executor="serial", chunks=4)
+
+
+# -------------------------------------------------- CSR exchange fast path
+class TestCongestFastPath:
+    def _flood_program(self, g):
+        def program(v, state, inbox):
+            return {w: (v, w) for w in g.neighbors(v)}
+        return program
+
+    def _run_round(self, g):
+        counters = Counters()
+        sim = CongestSimulator(g, counters=counters)
+        sim.round(self._flood_program(g))
+        return sim, counters
+
+    def test_fast_path_parity_with_adjset(self):
+        base = erdos_renyi(40, 0.2, seed=3)
+        assert 2 * base.m >= _FAST_PATH_MIN_MESSAGES
+        g_slow = base.with_backend("adjset")
+        g_fast = base.with_backend("csr")
+        sim_slow, c_slow = self._run_round(g_slow)
+        sim_fast, c_fast = self._run_round(g_fast)
+        assert c_slow.as_dict() == c_fast.as_dict()
+        assert sim_slow._inboxes == sim_fast._inboxes
+
+    def test_fast_path_rejects_non_neighbor(self):
+        g = erdos_renyi(40, 0.2, seed=3).with_backend("csr")
+        flood = self._flood_program(g)
+
+        def program(v, state, inbox):
+            out = flood(v, state, inbox)
+            if v == 0:
+                # vertex 1000 % n: guaranteed-bogus partner
+                non_neighbors = [w for w in range(g.n)
+                                 if w != v and not g.has_edge(v, w)]
+                out[non_neighbors[0]] = ("bad",)
+            return out
+
+        sim = CongestSimulator(g)
+        with pytest.raises(ValueError, match="non-neighbor"):
+            sim.round(program)
+
+    def test_fast_path_rejects_oversized(self):
+        g = erdos_renyi(40, 0.2, seed=3).with_backend("csr")
+        flood = self._flood_program(g)
+
+        def program(v, state, inbox):
+            out = flood(v, state, inbox)
+            if v == 1:
+                out[next(iter(g.neighbors(v)))] = tuple(range(10))
+            return out
+
+        sim = CongestSimulator(g, strict=True)
+        with pytest.raises(MessageTooLarge):
+            sim.round(program)
+
+    def test_edge_mask_parity(self):
+        np = pytest.importorskip("numpy")
+        base = erdos_renyi(25, 0.25, seed=5)
+        adj = base.with_backend("adjset")
+        csr = base.with_backend("csr")
+        rng_pairs = [(u, v) for u in range(-2, 27) for v in range(-2, 27)]
+        us = np.array([p[0] for p in rng_pairs])
+        vs = np.array([p[1] for p in rng_pairs])
+        assert (adj.edge_mask(us, vs) == csr.edge_mask(us, vs)).all()
+        expected = [base.has_edge(u, v) if 0 <= u < 25 and 0 <= v < 25
+                    else False for u, v in rng_pairs]
+        assert csr.edge_mask(us, vs).tolist() == expected
+
+
+# ---------------------------------------------------- CONGEST size sizing
+class TestCongestSizing:
+    def _sim(self, strict=True):
+        g = erdos_renyi(6, 0.9, seed=0)
+        counters = Counters()
+        return CongestSimulator(g, counters=counters, strict=strict), counters
+
+    def test_containers_are_sized(self):
+        sim, _ = self._sim()
+        with pytest.raises(MessageTooLarge):
+            sim._check_size({"a": 1, "b": 2, "c": 3})  # 6 words
+        with pytest.raises(MessageTooLarge):
+            sim._check_size({1, 2, 3, 4, 5})
+        with pytest.raises(MessageTooLarge):
+            sim._check_size("a very long string payload that is way over")
+
+    def test_unknown_payload_rejected_under_strict(self):
+        class Opaque:
+            pass
+
+        sim, counters = self._sim(strict=True)
+        with pytest.raises(MessageTooLarge, match="cannot size"):
+            sim._check_size(Opaque())
+        sim2, counters2 = self._sim(strict=False)
+        sim2._check_size(Opaque())
+        assert counters2.get("congest_message_violations") == 1
+
+    def test_small_tuples_still_pass(self):
+        sim, counters = self._sim()
+        sim._check_size(("propose",))
+        sim._check_size((1, 2, 3, 4))
+        sim._check_size(3)
+        assert counters.get("congest_message_violations") == 0
+
+
+# ------------------------------------------------------ Counters merging
+class TestCountersMerge:
+    def test_merge_accepts_mapping_and_bag(self):
+        a = Counters()
+        a.add("x", 2)
+        a.merge({"x": 1, "y": 3})
+        b = Counters.from_dict({"x": 3, "y": 3})
+        assert a == b
+        b.merge(a)
+        assert b.as_dict() == {"x": 6.0, "y": 6.0}
+
+    def test_partitioned_merge_equals_serial(self):
+        parts = [{"w": 1, "z": 2}, {"w": 4}, {"z": 0.5}]
+        total = Counters()
+        for part in parts:
+            total.merge(part)
+        serial = Counters()
+        for part in parts:
+            for key, value in part.items():
+                serial.add(key, value)
+        assert total == serial
+
+
+# --------------------------------------------- cross-process determinism
+class TestAlgorithmDeterminism:
+    def test_weak_boosting_insensitive_to_heap_layout(self):
+        """Seeded runs must not depend on object allocation addresses.
+
+        Regression test for the address-hash-ordered StructNode containers
+        (``Structure.nodes``, Contract's absorbed-path set) that made
+        identical seeded runs diverge between bench worker processes: a pile
+        of allocations in between perturbs the heap layout exactly the way a
+        different worker history would.
+        """
+        from repro.core.dynamic_boosting import boost_matching_weak
+        from repro.dynamic.weak_oracles import GreedyInducedWeakOracle
+
+        def run():
+            g = erdos_renyi(60, 0.08, seed=0)
+            counters = Counters()
+            m = boost_matching_weak(g, 0.25,
+                                    GreedyInducedWeakOracle(g, seed=1),
+                                    counters=counters, seed=1)
+            return sorted(m.edges()), counters.as_dict()
+
+        first = run()
+        junk = [str(i) * 9 for i in range(100000)]  # perturb the heap
+        second = run()
+        del junk
+        assert first == second
+
+    def test_ordered_node_set_is_insertion_ordered(self):
+        from repro.core.structures import OrderedNodeSet, Structure
+
+        s = Structure(0)
+        nodes = [Structure(i).root for i in range(1, 6)]
+        bag = OrderedNodeSet((s.root,))
+        for node in nodes:
+            bag.add(node)
+        bag.add(nodes[0])            # re-adding keeps the original position
+        assert list(bag) == [s.root] + nodes
+        bag.discard(nodes[2])
+        assert list(bag) == [s.root] + nodes[:2] + nodes[3:]
+        assert nodes[2] not in bag and nodes[1] in bag
+        assert len(bag) == 5
+        bag.clear()
+        assert list(bag) == [] and len(bag) == 0
+
+
+# ------------------------------------------------- parallel bench running
+EXTRA_MODULE = textwrap.dedent(
+    """
+    from repro.bench import register
+
+    @register("_px_ok", suite="_pxsuite", backends=("adjset", "csr"))
+    def _ok(spec, counters):
+        counters.add("px_work", 2 + spec.seed)
+        counters.add("px_runs")
+        return {"px_derived": 0.5}
+
+    @register("_px_boom", suite="_pxsuite")
+    def _boom(spec, counters):
+        raise RuntimeError("intentional scenario crash")
+    """
+)
+
+
+def test_extra_modules_execute_once_per_process(tmp_path, monkeypatch):
+    from repro.bench import discovery
+
+    marker = tmp_path / "execs.log"
+    module_path = tmp_path / "extra_counting.py"
+    module_path.write_text(
+        f"with open({str(marker)!r}, 'a') as fh:\n    fh.write('x')\n")
+    monkeypatch.setenv(discovery.EXTRA_MODULES_ENV, str(module_path))
+    discovery.load_benchmark_modules(tmp_path)
+    discovery.load_benchmark_modules(tmp_path)
+    # import semantics: side effects fire once per process, not per call
+    assert marker.read_text() == "x"
+    # ... but a same-named file in a different directory is a distinct module
+    other_dir = tmp_path / "other"
+    other_dir.mkdir()
+    other_path = other_dir / "extra_counting.py"
+    other_path.write_text(
+        f"with open({str(marker)!r}, 'a') as fh:\n    fh.write('y')\n")
+    monkeypatch.setenv(discovery.EXTRA_MODULES_ENV,
+                       os.pathsep.join([str(module_path), str(other_path)]))
+    discovery.load_benchmark_modules(tmp_path)
+    assert marker.read_text() == "xy"
+
+
+@pytest.fixture
+def parallel_scenarios(tmp_path, monkeypatch):
+    """Register two scenarios from an extra-modules file (worker-visible)."""
+    module_path = tmp_path / "extra_scenarios.py"
+    module_path.write_text(EXTRA_MODULE)
+    monkeypatch.setenv("REPRO_BENCH_EXTRA_MODULES", str(module_path))
+    # point discovery at tmp_path: no benchmarks/ dir there, so parent and
+    # workers load only the extra module (fast and hermetic)
+    monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+    exec(compile(EXTRA_MODULE, str(module_path), "exec"), {})
+    yield
+    registry.unregister("_px_ok")
+    registry.unregister("_px_boom")
+
+
+def _strip_timing(records):
+    out = []
+    for record in records:
+        record = dict(record)
+        record.pop("wall_s")
+        record.pop("timestamp")
+        out.append(record)
+    return out
+
+
+class TestParallelRunner:
+    def test_jobs_records_and_counters_match_serial(self, parallel_scenarios):
+        scens = [registry.get_scenario("_px_ok")]
+        results = {}
+        for jobs in (1, 4):
+            totals = Counters()
+            failures = []
+            records = runner.run_scenarios(scens, jobs=jobs, totals=totals,
+                                           failures=failures, seed=3)
+            assert not failures
+            results[jobs] = (_strip_timing(records), totals)
+        assert results[1][0] == results[4][0]
+        # counters merge exactly: one bag per worker, summed in the parent
+        assert results[1][1] == results[4][1]
+        assert results[1][1].get("px_runs") == 2  # one per backend
+
+    def test_worker_crash_fails_only_its_scenario(self, parallel_scenarios):
+        scens = [registry.get_scenario("_px_boom"),
+                 registry.get_scenario("_px_ok")]
+        failures = []
+        records = runner.run_scenarios(scens, jobs=2, failures=failures)
+        assert [r["scenario"] for r in records] == ["_px_ok", "_px_ok"]
+        assert len(failures) == 1
+        assert failures[0]["scenario"] == "_px_boom"
+        assert "intentional scenario crash" in failures[0]["error"]
+
+    def test_serial_path_isolates_failures_too(self, parallel_scenarios):
+        scens = [registry.get_scenario("_px_boom"),
+                 registry.get_scenario("_px_ok")]
+        failures = []
+        records = runner.run_scenarios(scens, jobs=1, failures=failures)
+        assert [r["scenario"] for r in records] == ["_px_ok", "_px_ok"]
+        assert len(failures) == 1 and failures[0]["scenario"] == "_px_boom"
+
+    def test_without_failures_list_the_first_failure_raises(
+            self, parallel_scenarios):
+        # legacy contract: scenarios must never silently go missing
+        with pytest.raises(RuntimeError, match="intentional scenario crash"):
+            runner.run_scenarios([registry.get_scenario("_px_boom")], jobs=1)
+        # pooled path (>1 spec): the failure surfaces naming the scenario
+        with pytest.raises(RuntimeError, match="_px_boom"):
+            runner.run_scenarios([registry.get_scenario("_px_boom"),
+                                  registry.get_scenario("_px_ok")], jobs=2)
+
+    def test_records_arrive_in_spec_order(self, parallel_scenarios):
+        scens = registry.scenarios("_pxsuite")
+        seen = []
+        runner.run_scenarios(scens, jobs=3,
+                             progress=lambda r: seen.append(
+                                 (r["scenario"], r["params"]["backend"])),
+                             failures=[])
+        assert seen == [("_px_ok", "adjset"), ("_px_ok", "csr")]

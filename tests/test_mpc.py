@@ -20,7 +20,7 @@ class TestSimulator:
         sizes = [len(s) for s in sim.storage]
         assert sum(sizes) == 7 and max(sizes) - min(sizes) <= 1
 
-    def test_round_delivers_messages_and_counts(self):
+    def test_round_delivers_messages_and_counts_words(self):
         counters = Counters()
         sim = MPCSimulator(2, counters=counters)
         sim.scatter([1, 2, 3])
@@ -30,8 +30,87 @@ class TestSimulator:
 
         sim.round(program)
         assert counters.get("mpc_rounds") == 1
-        assert counters.get("mpc_messages") == 2
+        # the budget S and mpc_messages are in *words*: each 2-tuple payload
+        # is 2 words, not 1 message-word
+        assert counters.get("mpc_messages") == 4
         assert any(isinstance(x, tuple) for x in sim.storage[0])
+
+    def test_round_charges_payload_words_not_message_count(self):
+        counters = Counters()
+        sim = MPCSimulator(2, counters=counters)
+
+        def program(machine_id, items):
+            if machine_id == 0:
+                return [(1, (1, 2, 3, 4, 5)), (1, 7)]  # 5 words + 1 word
+            return []
+
+        sim.round(program)
+        assert counters.get("mpc_messages") == 6
+
+    def test_send_side_budget_checked_in_words(self):
+        # one 5-word payload must trip a 4-word budget even though it is a
+        # single message
+        sim = MPCSimulator(2, memory_per_machine=4, strict=True)
+
+        def program(machine_id, items):
+            if machine_id == 0:
+                return [(1, (1, 2, 3, 4, 5))]
+            return []
+
+        with pytest.raises(MemoryExceeded):
+            sim.round(program)
+
+    def test_receive_side_budget_checked_in_words(self):
+        # both machines send 3 words to machine 0: each send fits the budget
+        # of 4, the combined receive volume of 6 does not
+        counters = Counters()
+        sim = MPCSimulator(2, memory_per_machine=4, strict=False,
+                           counters=counters)
+
+        def program(machine_id, items):
+            return [(0, (machine_id, 1, 2))]
+
+        sim.round(program)
+        assert counters.get("mpc_memory_violations") >= 1
+
+    def test_broadcast_round_word_accounting_and_memory_check(self):
+        counters = Counters()
+        sim = MPCSimulator(3, counters=counters)
+        values = sim.broadcast_round([(0, 1), (2, 3), (4, 5)])
+        assert values == [(0, 1), (2, 3), (4, 5)]
+        assert counters.get("mpc_rounds") == 1
+        # clique exchange: every 2-word value replicated to all 3 machines
+        assert counters.get("mpc_messages") == 3 * 6
+
+    def test_broadcast_round_enforces_budget(self):
+        # each machine broadcasts a 3-word value to 4 machines (12 words
+        # sent > S = 10)
+        sim = MPCSimulator(4, memory_per_machine=10, strict=True)
+        with pytest.raises(MemoryExceeded):
+            sim.broadcast_round([(1, 2, 3)] * 4)
+
+    def test_storage_memory_checked_in_words(self):
+        # storage accumulates across rounds; two 4-word tuples are 8 stored
+        # words even though they are only 2 items
+        counters = Counters()
+        sim = MPCSimulator(2, memory_per_machine=4, strict=False,
+                           counters=counters)
+
+        def program(machine_id, items):
+            return [(0, (1, 2, 3, 4))] if machine_id == 1 else []
+
+        sim.round(program)
+        assert counters.get("mpc_memory_violations") == 0
+        sim.round(program)
+        assert counters.get("mpc_memory_violations") >= 1
+
+    def test_broadcast_round_checks_storage_memory(self):
+        counters = Counters()
+        sim = MPCSimulator(2, memory_per_machine=2, strict=False,
+                           counters=counters)
+        sim.storage[0] = [1, 2, 3]  # already over budget
+        sim.broadcast_round([0, 1])
+        assert counters.get("mpc_memory_violations") >= 1
 
     def test_memory_budget_enforced(self):
         sim = MPCSimulator(2, memory_per_machine=2, strict=True)

@@ -62,6 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="workload selector for scenarios that offer one")
     run_p.add_argument("--algorithm", default="default",
                        help="algorithm selector for scenarios that offer one")
+    run_p.add_argument("--profile", action="store_true",
+                       help="after the timed runs, cProfile one execution "
+                            "per spec and write top-N cumulative hotspots to "
+                            "results/profile_<scenario>_<backend>.txt")
     run_p.add_argument("--no-files", action="store_true",
                        help="skip JSON emission (print records only)")
 
@@ -155,6 +159,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             records, suite_label,
             meta={"jobs": args.jobs, "suite_wall_s": round(suite_wall, 4)})
         print(f"\nwrote {len(records)} records to {path}")
+    if args.profile and not failures:
+        # profile separately from the timed repeats (never pollutes wall_s);
+        # reports land next to the per-scenario JSONs
+        work = runner.expand_all(
+            selected, backend=args.backend, eps=args.eps, seed=args.seed,
+            smoke=smoke, workload=args.workload, algorithm=args.algorithm)
+        paths = runner.profile_specs(work, results.output_root() / "results")
+        for p in paths:
+            print(f"wrote profile to {p}")
+    elif args.profile:
+        print("skipping --profile: scenario failures above", file=sys.stderr)
     for failure in failures:
         print(f"FAILED [{failure['backend']}] {failure['scenario']}: "
               f"{failure['error'].strip().splitlines()[-1]}", file=sys.stderr)

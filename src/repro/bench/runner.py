@@ -66,8 +66,40 @@ def expand_specs(scenario: Scenario, *, backend: Optional[str] = None,
             for b in backends]
 
 
+_runtime_primed = False
+
+
+def _prime_runtime() -> None:
+    """Exercise the lazily initialised library fast paths once per process.
+
+    The first NumPy bulk call a process makes (``fromiter``/``unique``/ufunc
+    dispatch set-up) costs tens of milliseconds.  Untamed, that one-time cost
+    lands inside whichever spec a (pooled or serial) run happens to execute
+    first and skews its ``wall_s`` -- the committed baseline's CSR rows
+    carried exactly that artefact.  Priming is cheap (<2 ms warm), uniform
+    across jobs settings, and keeps records measuring the algorithm rather
+    than library initialisation.
+    """
+    global _runtime_primed
+    if _runtime_primed:
+        return
+    _runtime_primed = True
+    try:
+        from repro.graph.graph import Graph
+
+        for backend in ("adjset", "csr"):
+            g = Graph(4, [(0, 1), (1, 2), (2, 3)], backend=backend)
+            g.edge_list()
+            g.arc_list()
+            g.adjacency_matrix()
+            g.induced_subgraph([0, 1, 2])
+    except Exception:  # pragma: no cover - priming must never fail a run
+        pass
+
+
 def run_scenario(scenario: Scenario, spec: RunSpec) -> Dict[str, object]:
     """Execute one spec (warmup + repeats) and return its record."""
+    _prime_runtime()
     for _ in range(max(0, spec.warmup)):
         scenario.fn(spec, Counters())
 
@@ -109,6 +141,43 @@ def expand_all(scens: Iterable[Scenario],
 def _failure(scenario: Scenario, spec: RunSpec, error: str) -> Dict[str, str]:
     return {"scenario": scenario.name, "backend": spec.backend,
             "error": error}
+
+
+def profile_specs(work: Iterable[Tuple[Scenario, RunSpec]], out_dir,
+                  top: int = 30) -> List[str]:
+    """cProfile one execution of each (scenario, spec); write text reports.
+
+    One ``profile_<scenario>_<backend>.txt`` per spec lands in ``out_dir``
+    (created on demand), holding the top-``top`` cumulative-time rows --
+    the artefact future perf PRs cite instead of guessing at hotspots.
+    Profiled executions are separate from the timed repeats, so ``wall_s``
+    in the emitted records is never polluted by profiler overhead.
+    Returns the written paths.
+    """
+    import cProfile
+    import io
+    import pstats
+    from pathlib import Path
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: List[str] = []
+    for scenario, spec in work:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        scenario.fn(spec, Counters())
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        path = out / f"profile_{scenario.name}_{spec.backend}.txt"
+        path.write_text(
+            f"# cProfile of scenario {scenario.name!r} "
+            f"(backend={spec.backend}, smoke={spec.smoke}, seed={spec.seed}); "
+            f"top {top} by cumulative time\n" + buffer.getvalue(),
+            encoding="utf-8")
+        paths.append(str(path))
+    return paths
 
 
 def run_scenarios(scens: Iterable[Scenario], progress=None, jobs: int = 1,

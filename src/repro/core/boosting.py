@@ -25,6 +25,11 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+try:  # optional: the reference engine works without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
 from repro.instrumentation.counters import Counters
@@ -36,7 +41,8 @@ from repro.core.oracles import (
     ensure_counting,
 )
 from repro.core.operations import apply_augmentations, augment_op, overtake_op
-from repro.core.phase import contract_pass, backtrack_pass, run_phase
+from repro.core.phase import (_type2_candidates, backtrack_pass,
+                              contract_pass, run_phase)
 from repro.core.structures import PhaseState, StructNode
 
 Edge = Tuple[int, int]
@@ -51,13 +57,22 @@ def build_structure_graph(state: PhaseState) -> Tuple[Graph, Dict[Edge, Edge]]:
     two structures iff some G-edge connects outer vertices of both.
 
     Returns ``(H', witness)`` where ``witness[(i, j)]`` is a G-edge realising
-    the H'-edge ``{i, j}`` (i < j in H' labelling).
+    the H'-edge ``{i, j}`` (i < j in H' labelling).  The array engine pulls
+    the candidate type-2 arcs with one boolean-mask pass over the key-sorted
+    edge arrays; the reference engine walks the same edge order scalar-wise,
+    so both build the identical graph and witness map.
     """
     structures = state.live_structures()
     index = {id(s): i for i, s in enumerate(structures)}
     hprime = Graph(len(structures))
     witness: Dict[Edge, Edge] = {}
-    for u, v in state.graph.edges():
+    if state.engine == "array":
+        eu, ev = state.edge_arrays()
+        idx = _type2_candidates(state)
+        candidates = list(zip(eu[idx].tolist(), ev[idx].tolist()))
+    else:
+        candidates = state.edge_pairs()
+    for u, v in candidates:
         if state.removed[u] or state.removed[v]:
             continue
         nu, nv = state.node_of[u], state.node_of[v]
@@ -74,6 +89,40 @@ def build_structure_graph(state: PhaseState) -> Tuple[Graph, Dict[Edge, Edge]]:
     return hprime, witness
 
 
+def stage_right_vertices(state: PhaseState, stage: int,
+                         unvisited_only: bool = False) -> List[int]:
+    """Right part of ``H'_s``: matched, not removed, inner-or-unvisited
+    vertices with label > ``stage + 1``, ascending.
+
+    With ``unvisited_only`` the in-structure (inner) vertices are excluded --
+    the sampling driver of Section 6.6 covers those by per-structure sampling
+    and only needs the unvisited remainder in bulk.  The array engine answers
+    with one boolean-mask pass; the reference engine scans ``range(n)`` in
+    the same ascending order.
+    """
+    if state.engine == "array":
+        mask = (state.matched_arr & ~state.removed_arr
+                & (state.vlabel_arr > stage + 1))
+        if unvisited_only:
+            mask &= state.sid_arr == -1
+        else:
+            mask &= ~state.outer_arr
+        return np.flatnonzero(mask).tolist()
+    out: List[int] = []
+    for v in range(state.graph.n):
+        if state.removed[v] or state.matching.is_free(v):
+            continue
+        node = state.node_of[v]
+        if unvisited_only:
+            if node is not None:
+                continue
+        elif node is not None and node.outer:
+            continue
+        if state.label_of_vertex(v) > stage + 1:
+            out.append(v)
+    return out
+
+
 def build_stage_graph(state: PhaseState, stage: int) -> Tuple[Graph, Dict[Edge, Edge], int]:
     """Build ``H'_s`` (Definition 5.8) for stage ``s``.
 
@@ -83,23 +132,15 @@ def build_stage_graph(state: PhaseState, stage: int) -> Tuple[Graph, Dict[Edge, 
     ``(H'_s, witness, num_left)`` where the first ``num_left`` vertices of the
     returned graph are the left part.
     """
-    left_nodes: List[StructNode] = []
-    for structure in state.live_structures():
-        w = structure.working
-        if w is None or structure.on_hold or structure.extended:
-            continue
-        if state.distance(w) == stage:
-            left_nodes.append(w)
+    left_nodes: List[StructNode] = [
+        structure.working for structure in state.live_structures()
+        if state.eligible_working(structure, stage)]
+    if not left_nodes:
+        # no eligible working vertex at this stage: H'_s has no left part and
+        # therefore no edges; skip the O(n) right-side scan entirely
+        return Graph(0), {}, 0
 
-    right_vertices: List[int] = []
-    for v in range(state.graph.n):
-        if state.removed[v] or state.matching.is_free(v):
-            continue
-        node = state.node_of[v]
-        if node is not None and node.outer:
-            continue
-        if state.label_of_vertex(v) > stage + 1:
-            right_vertices.append(v)
+    right_vertices = stage_right_vertices(state, stage)
 
     left_index = {id(node): i for i, node in enumerate(left_nodes)}
     right_index = {v: len(left_nodes) + i for i, v in enumerate(right_vertices)}
@@ -109,7 +150,7 @@ def build_stage_graph(state: PhaseState, stage: int) -> Tuple[Graph, Dict[Edge, 
     for node in left_nodes:
         i = left_index[id(node)]
         for x in node.vertices:
-            for y in state.graph.neighbor_list(x):
+            for y in state.sorted_neighbors(x):
                 if y not in right_set:
                     continue
                 if state.arc_type(x, y) != 3:

@@ -99,6 +99,10 @@ class ParameterProfile:
     max_bundle_cap: int = 10 ** 9
     oracle_c: float = 2.0
     backend: Optional[str] = None
+    #: phase-engine selector: ``"array"`` (vectorized candidate generation,
+    #: the default) or ``"reference"`` (the scalar path, kept byte-identical
+    #: for the parity suite; also the fallback when NumPy is missing)
+    engine: str = "array"
 
     # ------------------------------------------------------------ constructors
     @classmethod

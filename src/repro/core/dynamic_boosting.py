@@ -34,10 +34,11 @@ from repro.graph.graph import Graph
 from repro.matching.matching import Matching
 from repro.instrumentation.counters import Counters
 from repro.core.config import ParameterProfile
+from repro.core.boosting import stage_right_vertices
 from repro.core.oracles import CountingWeakOracle, WeakOracle, ensure_counting_weak
 from repro.core.operations import apply_augmentations, augment_op, overtake_op
 from repro.core.phase import contract_pass, run_phase
-from repro.core.structures import PhaseState
+from repro.core.structures import PhaseState, Structure
 
 Edge = Tuple[int, int]
 
@@ -71,13 +72,29 @@ class SamplingOracleDriver:
         sampled = []
         for structure in state.live_structures():
             if structure.g_vertices:
-                sampled.append(self.rng.choice(sorted(structure.g_vertices)))
+                sampled.append(self.rng.choice(structure.sorted_vertices()))
         return sampled
+
+    @staticmethod
+    def _stage_eligible(state: PhaseState, stage: int) -> bool:
+        """Whether any structure can extend at this stage (Section 6.6).
+
+        A stage can only produce overtakes out of an eligible working vertex
+        (:meth:`PhaseState.eligible_working`); when no structure qualifies,
+        the whole sampling loop (and the in-structure sweep, which tests the
+        same condition per structure) is a guaranteed no-op, so the driver
+        skips the stage.  Most stages of a warm-started rebuild are skipped
+        this way.
+        """
+        return any(state.eligible_working(structure, stage)
+                   for structure in state.structures.values())
 
     # -- Section 6.6 ---------------------------------------------------------
     def extend_active_path(self, state: PhaseState) -> None:
         for stage in self.profile.stages():
             state.counters.add("stages")
+            if not self._stage_eligible(state, stage):
+                continue
             self._in_structure_overtakes(state, stage)
             misses = 0
             for _it in range(self.iterations):
@@ -108,16 +125,14 @@ class SamplingOracleDriver:
     def _in_structure_overtakes(self, state: PhaseState, stage: int) -> None:
         """Maintain Invariant 6.10: no s-feasible arc stays inside a structure."""
         for structure in state.live_structures():
+            if not state.eligible_working(structure, stage):
+                continue
             w = structure.working
-            if w is None or structure.on_hold or structure.extended:
-                continue
-            if state.distance(w) != stage:
-                continue
             done = False
             for x in list(w.vertices):
                 if done:
                     break
-                for y in state.graph.neighbor_list(x):
+                for y in state.sorted_neighbors(x):
                     node_y = state.omega(y)
                     if node_y is None or node_y.structure is not structure:
                         continue
@@ -138,19 +153,18 @@ class SamplingOracleDriver:
                 continue
             structure = node.structure
             if node.outer:
-                if (structure.working is node and not structure.on_hold
-                        and not structure.extended
-                        and state.distance(node) == stage):
+                if (structure.working is node
+                        and state.eligible_working(structure, stage)):
                     left.append(v)
             else:
                 if state.label_of_vertex(v) > stage + 1:
                     right.append(v)
-        # unvisited matched vertices are not covered by per-structure sampling
-        for v in range(state.graph.n):
-            if state.removed[v] or state.matching.is_free(v):
-                continue
-            if state.omega(v) is None and state.label_of_vertex(v) > stage + 1:
-                right.append(v)
+        if not left:
+            # the caller stops on an empty side; don't pay for the other one
+            return left, []
+        # unvisited matched vertices are not covered by per-structure
+        # sampling; pull them in one bulk mask pass over the vertex arrays
+        right.extend(stage_right_vertices(state, stage, unvisited_only=True))
         return left, right
 
     # -- Section 6.5 ---------------------------------------------------------
@@ -227,8 +241,19 @@ class WeakOracleBoostingFramework:
         return matching
 
     # -- Theorem 6.2 ---------------------------------------------------------
-    def run(self, graph: Graph, initial: Optional[Matching] = None) -> Matching:
-        """Compute a (1+eps)-approximate maximum matching of ``graph``."""
+    def run(self, graph: Graph, initial: Optional[Matching] = None,
+            warm_start: bool = False) -> Matching:
+        """Compute a (1+eps)-approximate maximum matching of ``graph``.
+
+        ``warm_start`` declares that ``initial`` is already (1+O(eps))-close
+        to optimal -- the dynamic maintainers guarantee exactly that by the
+        stability argument (at most ``eps/8 * |M|`` updates since the last
+        rebuild).  The coarse scales of Algorithm 1 exist to erase large
+        deficits, which a warm start cannot have, so the run short-circuits
+        to the finest scales (whose structure-size limit and phase budget
+        dominate the coarser ones); quality is unchanged, the per-rebuild
+        work drops by the skipped scales' phase schedules.
+        """
         if self.weak_oracle.graph is not graph:
             # Definition 6.1 binds the oracle to a fixed graph; verify the
             # caller handed the matching one (same object identity).
@@ -237,7 +262,11 @@ class WeakOracleBoostingFramework:
         driver = SamplingOracleDriver(self.weak_oracle, self.profile,
                                       rng=self.rng,
                                       sampling_rounds=self.sampling_rounds)
-        for h in self.profile.scales:
+        scales = self.profile.scales
+        if warm_start and initial is not None and initial.size > 0:
+            scales = scales[-2:]
+            self.counters.add("warm_rebuilds")
+        for h in scales:
             stagnant = 0
             for _t in range(self.profile.phases(h)):
                 self.counters.add("phases")

@@ -97,13 +97,12 @@ def augment_op(state: PhaseState, u: int, v: int) -> AugmentationRecord:
 
 def _remove_structure(state: PhaseState, structure: Structure) -> None:
     """Remove a structure and mark all its vertices as removed (Section 4.5.1)."""
-    for x in structure.g_vertices:
-        state.removed[x] = True
-        state.node_of[x] = None
+    state.mark_removed(structure.g_vertices)
     state.structures.pop(structure.alpha, None)
     structure.nodes.clear()
     structure.g_vertices = set()
     structure.working = None
+    structure.invalidate_caches()
 
 
 # ---------------------------------------------------------------------------
@@ -170,8 +169,8 @@ def contract_op(state: PhaseState, u: int, v: int) -> StructNode:
     for node in absorbed:
         structure.nodes.discard(node)
     structure.nodes.add(new_node)
-    for x in blossom_vertices:
-        state.node_of[x] = new_node
+    state.register_node(new_node)
+    structure.invalidate_caches()  # inner vertices of the path became outer
 
     # --- labels of matched edges inside the blossom become 0 ----------------
     inside = set(blossom_vertices)
@@ -230,8 +229,9 @@ def overtake_op(state: PhaseState, u: int, v: int, k: int) -> None:
         sa.nodes.add(outer)
         sa.g_vertices.add(v)
         sa.g_vertices.add(t)
-        state.node_of[v] = inner
-        state.node_of[t] = outer
+        sa.invalidate_caches()
+        state.register_node(inner)
+        state.register_node(outer)
         state.set_label(v, t, k)
         sa.working = outer
         sa.modified = True
@@ -261,6 +261,7 @@ def overtake_op(state: PhaseState, u: int, v: int, k: int) -> None:
         # move the subtree (nodes, vertices) from S_beta to S_alpha
         moved_working = sb.working is not None and any(
             node is sb.working for node in moved)
+        moved_vertices: List[int] = []
         for node in moved:
             node.structure = sa
             sb.nodes.discard(node)
@@ -268,6 +269,10 @@ def overtake_op(state: PhaseState, u: int, v: int, k: int) -> None:
             for x in node.vertices:
                 sb.g_vertices.discard(x)
                 sa.g_vertices.add(x)
+            moved_vertices.extend(node.vertices)
+        sa.invalidate_caches()
+        sb.invalidate_caches()
+        state.move_to_structure(moved_vertices, sa.alpha)
         nv.parent = nu
         nu.children.append(nv)
         state.set_label(v, t, k)

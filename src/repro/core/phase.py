@@ -20,6 +20,11 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Protocol, Tuple
 
+try:  # optional: PhaseState downgrades to engine="reference" without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
 from repro.instrumentation.counters import Counters
@@ -86,6 +91,47 @@ def try_extend_arc(state: PhaseState, u: int, v: int) -> Optional[str]:
     return None
 
 
+def _find_type1_arc(state: PhaseState, structure: Structure) -> Optional[Edge]:
+    """First type-1 arc out of the structure's working node, or ``None``.
+
+    Candidate order is the working node's vertex order crossed with sorted
+    neighbour order -- identical for both engines, so the vectorized mask
+    scan below picks exactly the arc the scalar reference loop would.
+    """
+    w = structure.working
+    assert w is not None
+    # Bulk mask scan only pays off on non-trivial blossoms; a trivial
+    # working node (the overwhelmingly common case) walks its memoised
+    # sorted neighbour list scalar-wise.  Both paths scan the identical
+    # candidate order, so the engines stay byte-identical either way.
+    if state.engine == "array" and not w.is_trivial:
+        indptr, indices = state.adjacency()
+        verts = w.vertices
+        chunks = [indices[indptr[x]:indptr[x + 1]] for x in verts]
+        ys = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        if ys.size == 0:
+            return None
+        counts = [len(c) for c in chunks]
+        xs = np.repeat(np.asarray(verts, dtype=np.int64), counts)
+        mask = (state.outer_arr[ys] & (state.sid_arr[ys] == structure.alpha)
+                & (state.nid_arr[ys] != w.id) & (state.mate_arr[xs] != ys))
+        hit = np.flatnonzero(mask)
+        if hit.size == 0:
+            return None
+        k = int(hit[0])
+        return int(xs[k]), int(ys[k])
+    for x in w.vertices:
+        for y in state.sorted_neighbors(x):
+            if state.removed[y]:
+                continue
+            ny = state.node_of[y]
+            if (ny is not None and ny is not w and ny.outer
+                    and ny.structure is structure
+                    and not state.matching.contains_edge(x, y)):
+                return (x, y)
+    return None
+
+
 def contract_pass(state: PhaseState) -> int:
     """Step 1 of Contract-and-Augment: exhaust type-1 arcs (Section 4.7).
 
@@ -97,25 +143,28 @@ def contract_pass(state: PhaseState) -> int:
     total = 0
     for structure in state.live_structures():
         while structure.working is not None:
-            w = structure.working
-            found: Optional[Edge] = None
-            for x in w.vertices:
-                if found:
-                    break
-                for y in state.graph.neighbor_list(x):
-                    if state.removed[y]:
-                        continue
-                    ny = state.node_of[y]
-                    if (ny is not None and ny is not w and ny.outer
-                            and ny.structure is structure
-                            and not state.matching.contains_edge(x, y)):
-                        found = (x, y)
-                        break
+            found = _find_type1_arc(state, structure)
             if found is None:
                 break
             contract_op(state, *found)
             total += 1
     return total
+
+
+def _type2_candidates(state: PhaseState):
+    """Index array (into the key-sorted edge arrays) of candidate type-2 arcs.
+
+    The mask is computed against the state *before* any augmentation; that is
+    sound because augmenting only removes structures, so it can invalidate a
+    candidate (the per-candidate re-check catches that) but never create one.
+    """
+    eu, ev = state.edge_arrays()
+    if eu.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    live = (state.outer_arr[eu] & state.outer_arr[ev]
+            & (state.sid_arr[eu] != state.sid_arr[ev])
+            & (state.mate_arr[eu] != ev))
+    return np.flatnonzero(live)
 
 
 def augment_pass(state: PhaseState) -> int:
@@ -126,7 +175,13 @@ def augment_pass(state: PhaseState) -> int:
     Returns the number of augmentations performed.
     """
     total = 0
-    for u, v in state.graph.edge_list():
+    if state.engine == "array":
+        eu, ev = state.edge_arrays()
+        idx = _type2_candidates(state)
+        candidates = zip(eu[idx].tolist(), ev[idx].tolist())
+    else:
+        candidates = iter(state.edge_pairs())
+    for u, v in candidates:
         if state.removed[u] or state.removed[v]:
             continue
         nu, nv = state.node_of[u], state.node_of[v]
@@ -184,7 +239,9 @@ class DirectDriver:
         self.shuffle = shuffle
 
     def _arc_stream(self, state: PhaseState) -> List[Edge]:
-        arcs = state.graph.arc_list()
+        # one bulk pull of both arc orientations from the frozen phase view
+        # (vectorized zip on the CSR arrays) instead of per-edge iteration
+        arcs = list(state.arc_pairs())
         if self.shuffle:
             self.rng.shuffle(arcs)
         return arcs
@@ -214,8 +271,14 @@ def run_phase(graph: Graph, matching: Matching, profile: ParameterProfile,
     :func:`repro.core.operations.apply_augmentations` (Algorithm 1, line 6).
     """
     counters = counters if counters is not None else Counters()
-    state = PhaseState(graph, matching, profile.ell_max, counters)
+    state = PhaseState(graph, matching, profile.ell_max, counters,
+                       engine=profile.engine)
     state.init_structures()
+    if not state.structures:
+        # no free vertices -> no structures -> no operation can ever fire;
+        # skip the pass-bundle schedule outright (warm-started rebuilds hit
+        # this constantly)
+        return state.records
     limit = profile.structure_limit(h)
     tau_max = profile.pass_bundles(h)
 
@@ -231,6 +294,9 @@ def run_phase(graph: Graph, matching: Matching, profile: ParameterProfile,
 
         if check_invariants:
             state.check_invariants()
+
+        if not state.structures:
+            break  # every structure augmented away; later bundles are no-ops
 
         if profile.early_exit:
             diff = counters.diff(before)

@@ -32,7 +32,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.graph.graph import Graph, normalize_edge
+try:  # NumPy is optional: without it PhaseState falls back to scalar state
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None  # type: ignore[assignment]
+
+from repro.graph.backends import compile_csr
+from repro.graph.graph import Graph
 from repro.matching.matching import Matching
 from repro.instrumentation.counters import Counters
 
@@ -137,7 +143,8 @@ class Structure:
     """The structure ``S_alpha`` of a free vertex ``alpha`` (Definition 4.1)."""
 
     __slots__ = ("alpha", "root", "working", "nodes", "g_vertices",
-                 "on_hold", "modified", "extended")
+                 "on_hold", "modified", "extended",
+                 "_outer_cache", "_sorted_cache")
 
     def __init__(self, alpha: int) -> None:
         self.alpha = alpha
@@ -148,6 +155,8 @@ class Structure:
         self.on_hold = False
         self.modified = False
         self.extended = False
+        self._outer_cache: Optional[List[int]] = None
+        self._sorted_cache: Optional[List[int]] = None
 
     @property
     def size(self) -> int:
@@ -168,12 +177,33 @@ class Structure:
         return path
 
     def outer_vertices(self) -> List[int]:
-        """All G-vertices lying in outer nodes of the structure."""
-        out: List[int] = []
-        for node in self.nodes:
-            if node.outer:
-                out.extend(node.vertices)
+        """All G-vertices lying in outer nodes of the structure.
+
+        Memoised between mutations (the sampling drivers call this once per
+        oracle iteration); treat the returned list as read-only.
+        """
+        out = self._outer_cache
+        if out is None:
+            out = self._outer_cache = [x for node in self.nodes if node.outer
+                                       for x in node.vertices]
         return out
+
+    def sorted_vertices(self) -> List[int]:
+        """``g_vertices`` in ascending order, memoised between mutations.
+
+        The sampling drivers draw one uniform vertex per structure per
+        iteration; sorting the set on every draw dominated the dynamic-stack
+        profile, so the sorted view is cached and invalidated on mutation.
+        """
+        out = self._sorted_cache
+        if out is None:
+            out = self._sorted_cache = sorted(self.g_vertices)
+        return out
+
+    def invalidate_caches(self) -> None:
+        """Drop memoised vertex views (call after membership/flag changes)."""
+        self._outer_cache = None
+        self._sorted_cache = None
 
     def reset_marks(self, limit: int) -> None:
         """Per-pass-bundle initialisation (Algorithm 2, lines 6-9)."""
@@ -195,23 +225,81 @@ class AugmentationRecord:
 
 
 class PhaseState:
-    """Global state of one phase (Algorithm 2) over a graph and matching."""
+    """Global state of one phase (Algorithm 2) over a graph and matching.
+
+    Array layout (PR 4)
+    -------------------
+    The per-vertex state is kept twice: as the scalar Python structures the
+    pointer-chasing code paths read (``node_of``, ``removed``, ``vlabel``)
+    and, when NumPy is available, as flat int/bool array mirrors
+    (``removed_arr``, ``vlabel_arr``, ``outer_arr``, ``sid_arr``,
+    ``nid_arr``) the vectorized passes consume in bulk.  Both views are
+    mutated ONLY through the helpers below (:meth:`register_node`,
+    :meth:`mark_removed`, :meth:`move_to_structure`, :meth:`set_label`), so
+    they can never diverge; :meth:`check_invariants` cross-checks them.
+
+    Labels are stored per *vertex* rather than per matched edge: the matching
+    is frozen for the duration of a phase (augmentations are recorded and
+    applied afterwards), so every matched vertex has exactly one incident
+    matched edge and ``vlabel[v]`` is that edge's label (Definition 4.4);
+    free vertices keep ``vlabel[v] = 0``, which makes ``label_of_vertex`` an
+    O(1) array read.
+
+    The phase also freezes the graph, so canonical edge/arc/adjacency views
+    are materialised lazily once per phase (:meth:`edge_pairs`,
+    :meth:`edge_arrays`, :meth:`adjacency`, :meth:`sorted_neighbors`) in a
+    deterministic key-sorted order shared by every backend and both engines.
+    """
 
     def __init__(self, graph: Graph, matching: Matching, ell_max: int,
-                 counters: Optional[Counters] = None) -> None:
+                 counters: Optional[Counters] = None,
+                 engine: str = "array") -> None:
+        if engine not in ("array", "reference"):
+            raise ValueError(f"unknown phase engine {engine!r}")
         self.graph = graph
         self.matching = matching
         self.ell_max = ell_max
         self.label_default = ell_max + 1
         self.counters = counters if counters is not None else Counters()
+        # the vectorized engine needs numpy; degrade to the scalar reference
+        self.engine = engine if _np is not None else "reference"
+        self._use_arrays = _np is not None
 
         n = graph.n
         self.node_of: List[Optional[StructNode]] = [None] * n
         self.removed: List[bool] = [False] * n
-        # Labels of matched edges (Definition 4.4), keyed by canonical edge.
-        self.edge_label: Dict[Edge, int] = {}
+        mate = matching.mate_list()
+        default = self.label_default
+        # per-vertex label of the (unique) incident matched edge; 0 if free
+        self.vlabel: List[int] = [0 if m is None else default for m in mate]
         self.structures: Dict[int, Structure] = {}
         self.records: List[AugmentationRecord] = []
+
+        if self._use_arrays:
+            self.mate_arr = _np.fromiter(
+                (-1 if m is None else m for m in mate), dtype=_np.int64, count=n)
+            self.matched_arr = self.mate_arr >= 0
+            self.removed_arr = _np.zeros(n, dtype=bool)
+            self.vlabel_arr = _np.where(self.matched_arr, default, 0).astype(_np.int64)
+            self.outer_arr = _np.zeros(n, dtype=bool)
+            self.sid_arr = _np.full(n, -1, dtype=_np.int64)
+            self.nid_arr = _np.full(n, -1, dtype=_np.int64)
+        else:  # pragma: no cover - exercised only without numpy
+            self.mate_arr = None
+            self.matched_arr = None
+            self.removed_arr = None
+            self.vlabel_arr = None
+            self.outer_arr = None
+            self.sid_arr = None
+            self.nid_arr = None
+
+        # lazily materialised frozen-graph views (deterministic, key-sorted)
+        self._edge_pairs: Optional[List[Edge]] = None
+        self._eu = None
+        self._ev = None
+        self._indptr = None
+        self._indices = None
+        self._nbrs: Optional[Dict[int, List[int]]] = None
 
     # ----------------------------------------------------------- construction
     def init_structures(self) -> None:
@@ -219,7 +307,101 @@ class PhaseState:
         for alpha in self.matching.free_vertices():
             structure = Structure(alpha)
             self.structures[alpha] = structure
-            self.node_of[alpha] = structure.root
+            self.register_node(structure.root)
+
+    # -------------------------------------------------- state mutation funnel
+    def register_node(self, node: StructNode) -> None:
+        """Point every vertex of ``node`` at it (scalar state + array mirrors)."""
+        node_of = self.node_of
+        for x in node.vertices:
+            node_of[x] = node
+        if self._use_arrays:
+            verts = node.vertices
+            self.nid_arr[verts] = node.id
+            self.outer_arr[verts] = node.outer
+            self.sid_arr[verts] = node.structure.alpha
+
+    def move_to_structure(self, vertices: Sequence[int], alpha: int) -> None:
+        """Re-home vertices' structure id after a cross-structure Overtake."""
+        if self._use_arrays and len(vertices):
+            self.sid_arr[list(vertices)] = alpha
+
+    def mark_removed(self, vertices: Iterable[int]) -> None:
+        """Remove vertices from play for the rest of the phase (Augment)."""
+        verts = list(vertices)
+        removed = self.removed
+        node_of = self.node_of
+        for x in verts:
+            removed[x] = True
+            node_of[x] = None
+        if self._use_arrays and verts:
+            self.removed_arr[verts] = True
+            self.sid_arr[verts] = -1
+            self.nid_arr[verts] = -1
+            self.outer_arr[verts] = False
+
+    # ------------------------------------------------------ frozen-graph views
+    def edge_pairs(self) -> List[Edge]:
+        """Canonical ``(u, v)`` edge tuples, key-sorted (both engines' order)."""
+        if self._edge_pairs is None:
+            if self._use_arrays:
+                eu, ev = self.edge_arrays()
+                self._edge_pairs = list(zip(eu.tolist(), ev.tolist()))
+            else:  # pragma: no cover - exercised only without numpy
+                self._edge_pairs = sorted(self.graph.edge_list())
+        return self._edge_pairs
+
+    def edge_arrays(self):
+        """Canonical endpoint arrays ``(eu, ev)`` with ``eu < ev``, key-sorted."""
+        if self._eu is None:
+            backend = self.graph.backend
+            if hasattr(backend, "edge_arrays"):
+                self._eu, self._ev = backend.edge_arrays()
+            else:
+                pairs = sorted(self.graph.edge_list())
+                self._eu = _np.fromiter((u for u, _ in pairs), dtype=_np.int64,
+                                        count=len(pairs))
+                self._ev = _np.fromiter((v for _, v in pairs), dtype=_np.int64,
+                                        count=len(pairs))
+        return self._eu, self._ev
+
+    def adjacency(self):
+        """CSR ``(indptr, indices)`` of the frozen phase graph (sorted order)."""
+        if self._indptr is None:
+            backend = self.graph.backend
+            if hasattr(backend, "csr_arrays"):
+                self._indptr, self._indices = backend.csr_arrays()
+            else:
+                eu, ev = self.edge_arrays()
+                self._indptr, self._indices = compile_csr(eu, ev, self.graph.n)
+        return self._indptr, self._indices
+
+    def sorted_neighbors(self, v: int) -> List[int]:
+        """Neighbours of ``v`` in ascending order (memoised for the phase)."""
+        cache = self._nbrs
+        if cache is None:
+            cache = self._nbrs = {}
+        nbrs = cache.get(v)
+        if nbrs is None:
+            if self._use_arrays:
+                indptr, indices = self.adjacency()
+                nbrs = indices[indptr[v]:indptr[v + 1]].tolist()
+            else:  # pragma: no cover - exercised only without numpy
+                nbrs = sorted(self.graph.neighbor_list(v))
+            cache[v] = nbrs
+        return nbrs
+
+    def arc_pairs(self) -> List[Edge]:
+        """Both orientations of every edge, grouped by (ascending) tail."""
+        if self._use_arrays:
+            indptr, indices = self.adjacency()
+            src = _np.repeat(_np.arange(self.graph.n, dtype=_np.int64),
+                             _np.diff(indptr))
+            return list(zip(src.tolist(), indices.tolist()))
+        out: List[Edge] = []  # pragma: no cover - exercised only without numpy
+        for u in range(self.graph.n):
+            out.extend((u, v) for v in self.sorted_neighbors(u))
+        return out
 
     # ------------------------------------------------------------------ views
     def omega(self, v: int) -> Optional[StructNode]:
@@ -246,18 +428,40 @@ class PhaseState:
 
     # ----------------------------------------------------------------- labels
     def label_of_edge(self, u: int, v: int) -> int:
-        """Label of the matched edge {u, v} (default ``l_max + 1``)."""
-        return self.edge_label.get(normalize_edge(u, v), self.label_default)
+        """Label of the matched edge {u, v} (default ``l_max + 1``).
+
+        Labels only ever attach to matched edges (Definition 4.4) and the
+        matching is frozen per phase, so the label lives on the endpoints:
+        for the matched pair ``{u, v}`` it is ``vlabel[u] (== vlabel[v])``.
+        """
+        if self.matching.mate(u) == v:
+            return self.vlabel[u]
+        return self.label_default
 
     def set_label(self, u: int, v: int, value: int) -> None:
-        self.edge_label[normalize_edge(u, v)] = value
+        self.vlabel[u] = value
+        self.vlabel[v] = value
+        if self._use_arrays:
+            self.vlabel_arr[u] = value
+            self.vlabel_arr[v] = value
 
     def label_of_vertex(self, v: int) -> int:
         """``l(v)`` of Section 5.1: 0 for free vertices, else its matched-edge label."""
-        mate = self.matching.mate(v)
-        if mate is None:
-            return 0
-        return self.label_of_edge(v, mate)
+        return self.vlabel[v]
+
+    def eligible_working(self, structure: Structure, stage: int) -> bool:
+        """Whether the structure can extend at ``stage`` (Sections 5.5/6.6):
+        it has a working vertex, is neither on hold nor already extended in
+        this pass-bundle, and the working vertex's distance equals ``stage``.
+
+        The single source of truth for the stage filter -- the stage-graph
+        builder, the sampling driver's stage skip/in-structure sweep and the
+        stage sampler all share it.
+        """
+        w = structure.working
+        if w is None or structure.on_hold or structure.extended:
+            return False
+        return self.distance(w) == stage
 
     def distance(self, node: StructNode) -> int:
         """``distance(u)`` of Section 4.6: 0 at the root, else the label of the
@@ -266,7 +470,9 @@ class PhaseState:
             return 0
         parent = node.parent
         assert parent is not None and not parent.outer and parent.is_trivial
-        return self.label_of_edge(parent.vertices[0], node.base)
+        # the inner parent is matched to this node's base (invariant), so the
+        # matched-edge label is the parent vertex's vlabel
+        return self.vlabel[parent.vertices[0]]
 
     # ------------------------------------------------------------ type tests
     def arc_type(self, u: int, v: int) -> int:
@@ -356,3 +562,29 @@ class PhaseState:
             node = self.node_of[v]
             if node is not None:
                 assert v in node.vertices
+
+        # memoised per-structure views must agree with a fresh walk
+        for structure in self.structures.values():
+            if structure._outer_cache is not None:
+                fresh = [x for node in structure.nodes if node.outer
+                         for x in node.vertices]
+                assert structure._outer_cache == fresh, "stale outer cache"
+            if structure._sorted_cache is not None:
+                assert structure._sorted_cache == sorted(structure.g_vertices), \
+                    "stale sorted-vertex cache"
+
+        # scalar state and array mirrors must never diverge
+        if self._use_arrays:
+            for v in range(self.graph.n):
+                node = self.node_of[v]
+                assert bool(self.removed_arr[v]) == bool(self.removed[v]), \
+                    f"removed mirror diverged at {v}"
+                assert int(self.vlabel_arr[v]) == self.vlabel[v], \
+                    f"label mirror diverged at {v}"
+                if node is None:
+                    assert self.nid_arr[v] == -1 and self.sid_arr[v] == -1
+                    assert not self.outer_arr[v]
+                else:
+                    assert self.nid_arr[v] == node.id, f"nid mirror at {v}"
+                    assert self.sid_arr[v] == node.structure.alpha
+                    assert bool(self.outer_arr[v]) == node.outer

@@ -83,6 +83,13 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
         self.rebuild_slack = rebuild_slack
         self.min_rebuild_gap = max(1, min_rebuild_gap)
         self.rng = random.Random(seed)
+        # One framework for the lifetime of the maintainer: the oracle is
+        # bound to the (in-place mutated) graph anyway, and reusing the
+        # framework lets consecutive rebuilds share its rng/profile instead
+        # of reconstructing both per rebuild.
+        self._framework = WeakOracleBoostingFramework(
+            self.eps, self.oracle, profile=self.profile,
+            counters=self.counters, seed=self.rng.randrange(2 ** 31))
 
         self._matching = Matching(n)
         self._updates_since_rebuild = 0
@@ -137,13 +144,14 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
         """Recompute the matching with the Section 6 weak-oracle framework."""
         self.counters.add("dyn_rebuilds")
         graph = self.dynamic_graph.graph
-        framework = WeakOracleBoostingFramework(
-            self.eps, self.oracle, profile=self.profile,
-            counters=self.counters, seed=self.rng.randrange(2 ** 31))
         # Warm start from the surviving matching (restricted to live edges);
-        # the framework only augments, so the size never decreases.
+        # the framework only augments, so the size never decreases.  Once a
+        # previous rebuild has established (1+eps/2)-approximation, the
+        # stability argument keeps the patched matching (1+eps)-close, so
+        # the framework may skip its coarse scales (``warm_start``).
         warm = self._matching.restricted_to(graph)
-        self._matching = framework.run(graph, initial=warm)
+        self._matching = self._framework.run(
+            graph, initial=warm, warm_start=self._size_at_rebuild > 0)
         self.counters.add("update_work", graph.n)  # the n*poly(1/eps) term
         self._updates_since_rebuild = 0
         self._size_at_rebuild = self._matching.size

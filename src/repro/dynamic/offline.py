@@ -20,6 +20,20 @@ explicit shared rebuilds:
   *future* update density rather than reactively, and the per-epoch rebuilds
   are independent, so they can be batched/parallelised -- the quantity we
   report is the amortized work per update, matching the Table 2 row's shape.
+
+Warm-start amortization (PR 4).  Lemma 7.13/7.14 license *sharing* the
+computation across consecutive snapshots whose edge sets differ in at most
+``Gamma`` edges instead of recomputing each from scratch.  The reproduction's
+analogue: consecutive epochs differ by ``Theta(eps * mu)`` updates, so the
+previous epoch's patched matching is still (1+O(eps))-approximate at the next
+boundary (the same stability argument that makes intra-epoch patching sound).
+Each rebuild after the first therefore (a) seeds the framework with the
+surviving matching and (b) runs only the finest scales
+(``warm_start=True`` in :meth:`~repro.core.dynamic_boosting.
+WeakOracleBoostingFramework.run`), because the coarse scales exist to erase
+large deficits a warm start cannot have.  One framework/oracle pair is built
+per ``run`` and reused across every epoch -- the oracle is bound to the
+in-place mutated snapshot, exactly like the online maintainer.
 """
 
 from __future__ import annotations
@@ -40,7 +54,16 @@ OracleFactory = Callable[[Graph], WeakOracle]
 
 
 class OfflineDynamicMatching:
-    """Process a known-in-advance update sequence and report per-update sizes."""
+    """Process a known-in-advance update sequence and report per-update sizes.
+
+    ``oracle_factory`` builds one ``Aweak`` oracle per :meth:`run`, bound to
+    the run's snapshot graph and shared by every epoch rebuild.  The oracle
+    must follow the weak-oracle contract (see ``repro.dynamic.weak_oracles``):
+    answer from the live graph object it was bound to, or -- if it snapshots
+    state at construction, like :class:`~repro.dynamic.weak_oracles.
+    OMvWeakOracle` -- expose ``notify_update(u, v, present)``, which this
+    runner (like the online maintainer) calls on every effective edge change.
+    """
 
     def __init__(self, n: int, eps: float,
                  oracle_factory: Optional[OracleFactory] = None,
@@ -90,16 +113,30 @@ class OfflineDynamicMatching:
         dynamic = DynamicGraph(self.n)
         matching = Matching(self.n)
         sizes: List[int] = []
+        # one oracle/framework pair shared by every epoch of this run
+        # (Lemma 7.13/7.14 flavour; see the module docstring)
+        oracle = self.oracle_factory(dynamic.graph)
+        framework = WeakOracleBoostingFramework(
+            self.eps, oracle, profile=self.profile, counters=self.counters,
+            seed=self.rng.randrange(2 ** 31))
+        rebuilt_before = False
 
         for epoch_idx in range(len(boundaries) - 1):
             start, end = boundaries[epoch_idx], boundaries[epoch_idx + 1]
             # one shared rebuild at the epoch boundary
             if dynamic.graph.m > 0:
-                matching = self._rebuild(dynamic.graph, matching)
+                matching = self._rebuild(framework, dynamic.graph, matching,
+                                         warm_start=rebuilt_before)
+                rebuilt_before = True
             self.counters.add("offline_epochs")
 
             for upd in updates[start:end]:
                 changed = dynamic.apply(upd)
+                if changed and hasattr(oracle, "notify_update"):
+                    # snapshotting oracles (OMv) must see every edge change,
+                    # exactly as the online maintainer keeps them informed
+                    oracle.notify_update(upd.u, upd.v,
+                                         upd.kind == Update.INSERT)
                 if upd.kind == Update.EMPTY:
                     # the shared Table 2 convention: EMPTY padding is excluded
                     # from both sides of the amortization
@@ -117,15 +154,12 @@ class OfflineDynamicMatching:
                 sizes.append(matching.size)
         return sizes
 
-    def _rebuild(self, graph: Graph, previous: Matching) -> Matching:
+    def _rebuild(self, framework: WeakOracleBoostingFramework, graph: Graph,
+                 previous: Matching, warm_start: bool) -> Matching:
         self.counters.add("offline_rebuilds")
         self.counters.add("update_work", graph.n)
-        oracle = self.oracle_factory(graph)
-        framework = WeakOracleBoostingFramework(
-            self.eps, oracle, profile=self.profile, counters=self.counters,
-            seed=self.rng.randrange(2 ** 31))
         warm = previous.restricted_to(graph)
-        return framework.run(graph, initial=warm)
+        return framework.run(graph, initial=warm, warm_start=warm_start)
 
     # ------------------------------------------------------------- accounting
     def amortized_update_work(self) -> float:

@@ -80,14 +80,19 @@ class OMvMatrix:
     def row_neighbors(self, i: int, restrict: Optional[Sequence[int]] = None) -> List[int]:
         """Indices j with M[i, j] = 1 (optionally restricted); a row probe.
 
-        Counted separately (``omv_row_probes``) because Lemma 7.9 uses a small
-        number of these per extracted matching edge.
+        ``restrict`` may be a vertex sequence or a length-``n`` boolean mask
+        (the matching extractor keeps its unmatched-right set as a mask, so
+        no per-probe set-to-mask conversion is paid).  Counted separately
+        (``omv_row_probes``) because Lemma 7.9 uses a small number of these
+        per extracted matching edge.
         """
         self.counters.add("omv_row_probes")
         bits = np.unpackbits(self._packed[i], bitorder="little")[: self.n].astype(bool)
         if restrict is not None:
-            mask = np.zeros(self.n, dtype=bool)
-            mask[list(restrict)] = True
+            mask = np.asarray(restrict)
+            if mask.dtype != np.bool_ or mask.shape != (self.n,):
+                mask = np.zeros(self.n, dtype=bool)
+                mask[list(restrict)] = True
             bits &= mask
         return list(np.nonzero(bits)[0])
 
@@ -180,28 +185,30 @@ def maximal_matching_via_omv(omv: OMvMatrix, left: Sequence[int],
     row probes is at most the size of the matching found.
     """
     counters = counters if counters is not None else omv.counters
-    unmatched_right: Set[int] = set(right)
+    # unmatched right vertices live as a boolean mask: it doubles as the OMv
+    # query indicator and the row-probe restriction, so no per-round
+    # set-to-mask conversions are paid
+    right_mask = np.zeros(omv.n, dtype=bool)
+    right_mask[list(right)] = True
     unmatched_left: List[int] = list(left)
     matching: List[Edge] = []
 
-    while unmatched_left and unmatched_right:
-        indicator = np.zeros(omv.n, dtype=bool)
-        indicator[list(unmatched_right)] = True
-        product = omv.query(indicator)
+    while unmatched_left and right_mask.any():
+        product = omv.query(right_mask)
         progress = False
         next_left: List[int] = []
         for u in unmatched_left:
             if not product[u]:
                 continue
-            neighbors = omv.row_neighbors(u, restrict=unmatched_right)
+            neighbors = omv.row_neighbors(u, restrict=right_mask)
             if not neighbors:
                 next_left.append(u)
                 continue
-            v = neighbors[0]
+            v = int(neighbors[0])
             matching.append((u, v))
-            unmatched_right.discard(v)
+            right_mask[v] = False
             progress = True
-        unmatched_left = [u for u in next_left if unmatched_right]
+        unmatched_left = next_left if right_mask.any() else []
         counters.add("omv_matching_rounds")
         if not progress:
             break

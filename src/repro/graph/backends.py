@@ -78,6 +78,25 @@ def edge_endpoint_arrays(edges: Iterable[Edge]):
     return flat[0::2], flat[1::2]
 
 
+def compile_csr(eu, ev, n: int):
+    """Build CSR ``(indptr, indices)`` over both orientations of an edge set.
+
+    ``eu``/``ev`` are canonical endpoint int64 arrays; neighbours come out in
+    ascending order per vertex.  Shared by :class:`CSRBackend` and the phase
+    engine's backend-independent adjacency view, so the two can never drift.
+    """
+    np = require_numpy("CSR compilation")
+    if n == 0 or eu.size == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    src = np.concatenate([eu, ev])
+    dst = np.concatenate([ev, eu])
+    order = np.lexsort((dst, src))
+    counts = np.bincount(src[order], minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst[order]
+
+
 class GraphBackend(ABC):
     """Storage protocol for an undirected simple graph on ``0..n-1``.
 
@@ -320,7 +339,8 @@ class CSRBackend(GraphBackend):
     """
 
     name = "csr"
-    __slots__ = ("_n", "_keys", "_dirty", "_indptr", "_indices", "_sorted_keys")
+    __slots__ = ("_n", "_keys", "_dirty", "_indptr", "_indices", "_sorted_keys",
+                 "_nbr_cache")
 
     def __init__(self, n: int) -> None:
         require_numpy("the 'csr' graph backend")
@@ -330,6 +350,7 @@ class CSRBackend(GraphBackend):
         self._indptr = None
         self._indices = None
         self._sorted_keys = None
+        self._nbr_cache: Optional[Dict[int, List[int]]] = None
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -352,6 +373,7 @@ class CSRBackend(GraphBackend):
             self._sorted_keys = keys
             self._indptr = None  # CSR view is stale; rebuilt on demand
             self._indices = None
+            self._nbr_cache = None
             self._dirty = False
         return self._sorted_keys
 
@@ -360,24 +382,12 @@ class CSRBackend(GraphBackend):
         keys = self._compile_keys()
         if self._indptr is not None:
             return
-        np = _np
         n = self._n
         if n == 0 or keys.size == 0:
-            self._indptr = np.zeros(n + 1, dtype=np.int64)
-            self._indices = np.zeros(0, dtype=np.int64)
+            self._indptr = _np.zeros(n + 1, dtype=_np.int64)
+            self._indices = _np.zeros(0, dtype=_np.int64)
             return
-        u = keys // n
-        v = keys % n
-        src = np.concatenate([u, v])
-        dst = np.concatenate([v, u])
-        order = np.lexsort((dst, src))
-        src = src[order]
-        dst = dst[order]
-        counts = np.bincount(src, minlength=n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        self._indptr = indptr
-        self._indices = dst
+        self._indptr, self._indices = compile_csr(keys // n, keys % n, n)
 
     def _edge_arrays(self):
         """Canonical ``(u, v)`` arrays with ``u < v``, sorted by key."""
@@ -462,9 +472,20 @@ class CSRBackend(GraphBackend):
         return set(self.neighbor_list(v))
 
     def neighbor_list(self, v: int) -> Sequence[int]:
+        # Memoised per compiled view: the combinatorial layers ask for the
+        # same vertex's neighbours many times between mutations, and paying a
+        # fresh slice + ``tolist`` per call made CSR lose to adjset on
+        # pointer-chasing workloads (the PR 4 smoke regression).
         self._check_vertex(v)
-        self._compile()
-        return self._indices[self._indptr[v]:self._indptr[v + 1]].tolist()
+        cache = self._nbr_cache
+        if cache is None or self._dirty:
+            self._compile()
+            cache = self._nbr_cache = {}
+        nbrs = cache.get(v)
+        if nbrs is None:
+            nbrs = cache[v] = (
+                self._indices[self._indptr[v]:self._indptr[v + 1]].tolist())
+        return nbrs
 
     def degree(self, v: int) -> int:
         self._check_vertex(v)
@@ -475,6 +496,22 @@ class CSRBackend(GraphBackend):
         """All degrees as an int64 array (CSR-only vectorized read)."""
         self._compile()
         return _np.diff(self._indptr)
+
+    def csr_arrays(self):
+        """The compiled ``(indptr, indices)`` view (treat as read-only).
+
+        This is the bulk hook the array-native phase engine uses: one call
+        hands the whole adjacency structure over without per-vertex slicing.
+        The arrays are replaced wholesale on recompilation, never mutated in
+        place, so callers may hold them for the duration of a phase (the
+        phase graph is frozen while a phase runs).
+        """
+        self._compile()
+        return self._indptr, self._indices
+
+    def edge_arrays(self):
+        """Canonical ``(u, v)`` endpoint arrays with ``u < v``, key-sorted."""
+        return self._edge_arrays()
 
     def max_degree(self) -> int:
         if self._n == 0 or not self._keys:
@@ -552,6 +589,7 @@ class CSRBackend(GraphBackend):
         clone._indptr = self._indptr
         clone._indices = self._indices
         clone._sorted_keys = self._sorted_keys
+        clone._nbr_cache = None  # per-instance; rebuilt on demand
         return clone
 
 

@@ -76,6 +76,15 @@ class Matching:
     def edge_list(self) -> List[Edge]:
         return list(self.edges())
 
+    def mate_list(self) -> Sequence[Optional[int]]:
+        """The internal mate array (read-only view; do not mutate).
+
+        The array-native phase engine snapshots this once per phase to build
+        its vectorized mate/matched masks instead of issuing n ``mate()``
+        calls.
+        """
+        return self._mate
+
     def copy(self) -> "Matching":
         m = Matching(self._n)
         m._mate = list(self._mate)

@@ -242,6 +242,19 @@ class TestDiscovery:
         assert "does not interpret" in capsys.readouterr().err
         assert not list(tmp_path.glob("BENCH_*.json"))
 
+    def test_profile_flag_writes_hotspot_reports(self, toy_scenario,
+                                                 tmp_path, monkeypatch,
+                                                 capsys):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert cli.main(["run", "--scenario", "_toy", "--smoke",
+                        "--profile"]) == 0
+        reports = sorted(p.name for p in (tmp_path / "results").glob(
+            "profile_*.txt"))
+        assert reports == ["profile__toy_adjset.txt", "profile__toy_csr.txt"]
+        text = (tmp_path / "results" / "profile__toy_adjset.txt").read_text()
+        assert "cumulative" in text  # pstats output, sorted by cumtime
+        capsys.readouterr()
+
     def test_backend_restricted_run_gets_suffixed_label(
             self, toy_scenario, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
@@ -281,3 +294,26 @@ def test_smoke_gate_all_scenarios(tmp_path):
     backends = {record["params"]["backend"] for record in records
                 if record["scenario"] == "backends"}
     assert backends == {"adjset", "csr"}
+
+    # ---- perf gate: wall-time regressions vs the committed baseline fail
+    # loudly.  The threshold is generous (hosts differ, smoke runs are
+    # seconds-scale and jobs=2 adds contention noise) -- it exists to catch
+    # the 5x-class regressions a bad hot-path change introduces, not 20%
+    # jitter.  Override with REPRO_BENCH_FAIL_OVER, or set it to "0" to
+    # skip the gate entirely (e.g. on a known-slow CI host).
+    fail_over = float(os.environ.get("REPRO_BENCH_FAIL_OVER", "3.0"))
+    if fail_over > 0:
+        baseline = load_records(os.path.join(REPO_ROOT, "BENCH_all.json"))
+        rows = compare_records(baseline, records, fail_over=fail_over)
+        # ratio alone drowns in noise on milliseconds-scale rows (a 10ms
+        # scenario jitters 3x under jobs=2 contention); require the
+        # regression to also be absolutely large before failing
+        min_delta_s = 0.15
+        bad = [r for r in regressions(rows)
+               if r["new"] - r["old"] >= min_delta_s]
+        assert not bad, (
+            f"wall-time regression(s) vs committed BENCH_all.json "
+            f"(fail-over {fail_over:g}x): "
+            + ", ".join(f"{r['scenario']}[{r['backend']}] "
+                        f"{r['old']:.3f}s -> {r['new']:.3f}s "
+                        f"({r['ratio']:.2f}x)" for r in bad))

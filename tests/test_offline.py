@@ -47,6 +47,35 @@ class TestOffline:
         alg = OfflineDynamicMatching(10, EPS, seed=5)
         assert alg.run([]) == []
 
+    def test_snapshotting_oracle_sees_updates(self):
+        """The shared per-run oracle must be kept informed of edge changes.
+
+        Regression test for the PR 4 oracle hoist: OMvWeakOracle snapshots
+        the (initially empty) graph at construction, so without
+        ``notify_update`` every epoch rebuild would query an all-zeros
+        matrix and sizes would silently collapse.  The workload inserts each
+        path's middle edge first, so the intra-epoch patching (match an
+        inserted edge iff both endpoints are free) gets stuck at half the
+        optimum and only a *working* oracle's rebuilds can augment past it.
+        """
+        from repro.graph.dynamic_graph import Update
+        from repro.dynamic.weak_oracles import OMvWeakOracle
+
+        paths, n = 5, 20
+        updates = []
+        for p in range(paths):  # path a-b-c-d, middle edge first
+            a = 4 * p
+            updates.extend([Update.insert(a + 1, a + 2),
+                            Update.insert(a, a + 1),
+                            Update.insert(a + 2, a + 3)])
+        alg = OfflineDynamicMatching(
+            n, EPS, seed=6, oracle_factory=lambda g: OMvWeakOracle(g))
+        sizes = alg.run(updates)
+        opt = 2 * paths
+        # patching alone tops out at `paths`; a functional oracle must get
+        # within the (1+eps) band of 2*paths
+        assert sizes[-1] >= opt / (1 + EPS) - 1
+
 
 def test_empty_updates_excluded_from_amortization():
     """Offline runs share the Table 2 EMPTY-padding accounting convention."""

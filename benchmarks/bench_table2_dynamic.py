@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graph.workloads import planted_matching_churn
+from repro.workloads import planted_matching_churn, resolve_workload
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.reporting import Table
 from repro.matching.blossom import maximum_matching_size
@@ -44,7 +44,8 @@ def _run_maintainer(alg, updates):
 
 
 def run_table2_measured(seed: int = 0) -> Table:
-    n, updates = planted_matching_churn(15, rounds=4, seed=seed)
+    stream = planted_matching_churn(15, rounds=4, seed=seed)
+    n, updates = stream.n, stream.materialize()
     table = Table(
         "Table 2 (measured): fully dynamic maintainers on a churn workload",
         ["eps", "algorithm", "amortized work/update", "rebuilds",
@@ -110,7 +111,8 @@ def run_table2_formulas(n: int = 10 ** 5, k: int = 2) -> Table:
 
 def test_table2_dynamic(benchmark):
     """Regenerate Table 2 (dynamic) and time this work's maintainer at eps=1/4."""
-    n, updates = planted_matching_churn(15, rounds=4, seed=0)
+    stream = planted_matching_churn(15, rounds=4, seed=0)
+    n, updates = stream.n, stream
 
     def run():
         alg = FullyDynamicMatching(n, 0.25, seed=0)
@@ -124,16 +126,23 @@ def test_table2_dynamic(benchmark):
 
 
 # ------------------------------------------------------------ repro.bench
-@register("table2_dynamic", suite="table2",
-          description="fully dynamic maintainer on the planted-churn "
-                      "workload: amortized work, rebuilds, oracle calls")
+@register("table2_dynamic", suite="table2", selectors=("workload",),
+          backends=("adjset", "csr"),
+          description="fully dynamic maintainer on a selectable workload "
+                      "(default: planted churn): amortized work, rebuilds, "
+                      "oracle calls")
 def _table2_dynamic_scenario(spec, counters):
     eps = spec.resolved_eps()
-    pairs, rounds = (8, 2) if spec.smoke else (15, 4)
-    n, updates = planted_matching_churn(pairs, rounds=rounds, seed=spec.seed)
-    alg = FullyDynamicMatching(n, eps, counters=counters, seed=spec.seed)
-    for upd in updates:
-        alg.update(upd)
+    if spec.workload == "default":
+        pairs, rounds = (8, 2) if spec.smoke else (15, 4)
+        stream = planted_matching_churn(pairs, rounds=rounds, seed=spec.seed)
+    else:
+        # any registered workload name or a "trace:<path>" spec
+        stream = resolve_workload(spec.workload, smoke=spec.smoke,
+                                  seed=spec.seed)
+    alg = FullyDynamicMatching(stream.n, eps, counters=counters,
+                               seed=spec.seed, backend=spec.backend)
+    alg.process(stream, collect_sizes=False)
     opt = maximum_matching_size(alg.graph)
     return {"amortized_update_work": alg.amortized_update_work(),
             "size_over_opt": alg.current_matching().size / max(1, opt)}

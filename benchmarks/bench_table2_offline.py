@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.graph.dynamic_graph import DynamicGraph
-from repro.graph.workloads import sliding_window
+from repro.workloads import resolve_workload, sliding_window
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.reporting import Table
 from repro.matching.blossom import maximum_matching_size
@@ -30,7 +30,7 @@ from _common import EPS_SWEEP_SMALL, emit, scenario_main
 
 def run_table2_offline(seed: int = 0) -> Table:
     n = 30
-    updates = sliding_window(n, 240, window=45, seed=seed)
+    updates = sliding_window(n, 240, window=45, seed=seed).materialize()
     final_graph = DynamicGraph(n)
     final_graph.apply_all(updates)
     opt = maximum_matching_size(final_graph.graph)
@@ -71,26 +71,34 @@ def run_table2_offline(seed: int = 0) -> Table:
 
 def test_table2_offline(benchmark):
     """Regenerate the offline row and time one offline run at eps = 1/4."""
-    updates = sliding_window(30, 160, window=40, seed=0)
+    updates = sliding_window(30, 160, window=40, seed=0).materialize()
     benchmark(lambda: OfflineDynamicMatching(30, 0.25, seed=0).run(updates))
     emit(run_table2_offline(), "table2_offline.txt")
 
 
 # ------------------------------------------------------------ repro.bench
-@register("table2_offline", suite="table2",
-          description="offline dynamic matching on a sliding-window stream: "
-                      "amortized work and epochs")
+@register("table2_offline", suite="table2", selectors=("workload",),
+          backends=("adjset", "csr"),
+          description="offline dynamic matching on a selectable workload "
+                      "(default: sliding window): amortized work and epochs")
 def _table2_offline_scenario(spec, counters):
     eps = spec.resolved_eps()
-    n, num_updates, window = (20, 80, 20) if spec.smoke else (30, 240, 45)
-    updates = sliding_window(n, num_updates, window=window, seed=spec.seed)
-    offline = OfflineDynamicMatching(n, eps, counters=counters, seed=spec.seed)
+    if spec.workload == "default":
+        n, num_updates, window = (20, 80, 20) if spec.smoke else (30, 240, 45)
+        stream = sliding_window(n, num_updates, window=window, seed=spec.seed)
+    else:
+        stream = resolve_workload(spec.workload, smoke=spec.smoke,
+                                  seed=spec.seed)
+    n = stream.n
+    updates = stream.materialize()  # run() and opt both need it; once
+    offline = OfflineDynamicMatching(n, eps, counters=counters,
+                                     seed=spec.seed, backend=spec.backend)
     sizes = offline.run(updates)
-    final_graph = DynamicGraph(n)
+    final_graph = DynamicGraph(n, log_updates=False)
     final_graph.apply_all(updates)
     opt = maximum_matching_size(final_graph.graph)
     return {"amortized_update_work": offline.amortized_update_work(),
-            "size_over_opt": sizes[-1] / max(1, opt)}
+            "size_over_opt": int(sizes[-1]) / max(1, opt)}
 
 
 def main(argv=None) -> int:

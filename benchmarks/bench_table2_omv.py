@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graph.workloads import planted_matching_churn
+from repro.workloads import planted_matching_churn
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.reporting import Table
 from repro.matching.blossom import maximum_matching_size
@@ -32,7 +32,8 @@ from _common import EPS_SWEEP_SMALL, emit, scenario_main
 
 
 def run_table2_omv(seed: int = 0) -> Table:
-    n, updates = planted_matching_churn(12, rounds=3, seed=seed)
+    updates = planted_matching_churn(12, rounds=3, seed=seed)
+    n = updates.n
     table = Table(
         "Table 2 (OMv rows): OMv-backed vs direct weak oracle",
         ["eps", "oracle", "amortized work/update", "weak-oracle calls",
@@ -61,7 +62,8 @@ def run_table2_omv(seed: int = 0) -> Table:
 
 def test_table2_omv(benchmark):
     """Regenerate the OMv rows and time one OMv-backed maintainer run."""
-    n, updates = planted_matching_churn(12, rounds=2, seed=0)
+    stream = planted_matching_churn(12, rounds=2, seed=0)
+    n, updates = stream.n, stream
 
     def run():
         counters = Counters()
@@ -82,12 +84,12 @@ def test_table2_omv(benchmark):
 def _table2_omv_scenario(spec, counters):
     eps = spec.resolved_eps()
     pairs, rounds = (8, 2) if spec.smoke else (12, 3)
-    n, updates = planted_matching_churn(pairs, rounds=rounds, seed=spec.seed)
+    updates = planted_matching_churn(pairs, rounds=rounds, seed=spec.seed)
     alg = FullyDynamicMatching(
-        n, eps, counters=counters, seed=spec.seed,
+        updates.n, eps, counters=counters, seed=spec.seed,
+        backend=spec.backend,
         oracle_factory=lambda g: OMvWeakOracle(g, counters=counters))
-    for upd in updates:
-        alg.update(upd)
+    alg.process(updates, collect_sizes=False)
     opt = maximum_matching_size(alg.graph)
     return {"amortized_update_work": alg.amortized_update_work(),
             "size_over_opt": alg.current_matching().size / max(1, opt)}

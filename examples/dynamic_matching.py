@@ -16,7 +16,7 @@ from repro import Counters
 from repro.dynamic.fully_dynamic import FullyDynamicMatching
 from repro.dynamic.offline import OfflineDynamicMatching
 from repro.dynamic.weak_oracles import GreedyInducedWeakOracle, OMvWeakOracle
-from repro.graph.workloads import planted_matching_churn
+from repro.workloads import planted_matching_churn
 from repro.matching.blossom import maximum_matching_size
 
 
@@ -42,9 +42,11 @@ def run_online(n, updates, eps, label, oracle_factory, counters):
 
 def main() -> None:
     eps = 0.25
-    n, updates = planted_matching_churn(20, rounds=6, churn_fraction=0.3, seed=4)
-    print(f"workload: n={n}, {len(updates)} updates "
-          f"(planted matching churn, mu stays Theta(n))")
+    updates = planted_matching_churn(20, rounds=6, churn_fraction=0.3, seed=4)
+    n = updates.n
+    print(f"workload: n={n}, {updates.length} updates "
+          f"(planted matching churn, mu stays Theta(n); lazy stream, "
+          f"re-iterated per algorithm)")
 
     counters = Counters()
     run_online(n, updates, eps, "online, greedy induced Aweak (Thm 7.1 + 6.2)",

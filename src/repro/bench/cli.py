@@ -5,7 +5,9 @@ Subcommands::
     run      execute registered scenarios and emit JSON (+ a summary table)
              e.g. ``python -m repro.bench run --suite table1 --smoke --backend csr``
              ``--jobs N`` fans independent runs out over N worker processes
-             (deterministic record order; exit 1 if any scenario failed)
+             (deterministic record order; exit 1 if any scenario failed);
+             ``--list`` prints the selected scenarios (params, suites,
+             accepted workload specs) and exits without running
     list     show registered scenarios and suites
     compare  diff two suite JSON files and fail on regressions
              e.g. ``python -m repro.bench compare old.json new.json --fail-over 1.2``
@@ -34,6 +36,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
 
     run_p = sub.add_parser("run", help="run scenarios and emit JSON records")
+    run_p.add_argument("--list", action="store_true", dest="list_only",
+                       help="list the selected scenarios (all registered "
+                            "ones when nothing is selected) with their "
+                            "suites, backends and selectors, then exit "
+                            "without running anything")
     run_p.add_argument("--suite", help="run every scenario of one suite")
     run_p.add_argument("--all", action="store_true",
                        help="run every registered scenario")
@@ -113,10 +120,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if not selected:
             print("error: no scenarios registered", file=sys.stderr)
             return 2
+    elif args.list_only:
+        # bare "run --list" enumerates everything that could be run
+        selected = registry.scenarios()
+        suite_label = "all"
     else:
         print("error: choose --suite NAME, --scenario NAME or --all",
               file=sys.stderr)
         return 2
+
+    if args.list_only:
+        return _print_scenarios(selected)
 
     if args.backend is not None:
         known = {b for scenario in selected for b in scenario.backends}
@@ -180,16 +194,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_scenarios(selected) -> int:
+    """Render a scenario inspection table (``run --list`` / ``list``).
+
+    Shows everything a ``RunSpec`` can vary per scenario: the suite, the
+    declared backend sweep, and which free-form selectors (``workload`` /
+    ``algorithm``) the scenario interprets -- including the registered
+    workload names a ``--workload`` selector accepts.
+    """
+    table = Table("Registered benchmark scenarios",
+                  ["scenario", "suite", "backends", "selectors",
+                   "description"])
+    for scenario in selected:
+        table.add_row(scenario.name, scenario.suite,
+                      ",".join(scenario.backends),
+                      ",".join(scenario.selectors) or "-",
+                      scenario.description)
+    print(table.render())
+    suites = sorted({s.suite for s in selected})
+    print(f"\nsuites: {', '.join(suites) or '(none)'}")
+    if any("workload" in s.selectors for s in selected):
+        try:
+            from repro.workloads import workload_names
+
+            names = ", ".join(workload_names() + ["trace:<path>"])
+            print(f"workload specs (--workload): {names}")
+        except ImportError:  # pragma: no cover - workloads ships with repro
+            pass
+    return 0
+
+
 def _cmd_list() -> int:
     discovery.load_benchmark_modules()
-    table = Table("Registered benchmark scenarios",
-                  ["scenario", "suite", "backends", "description"])
-    for scenario in registry.scenarios():
-        table.add_row(scenario.name, scenario.suite,
-                      ",".join(scenario.backends), scenario.description)
-    print(table.render())
-    print(f"\nsuites: {', '.join(registry.suite_names()) or '(none)'}")
-    return 0
+    return _print_scenarios(registry.scenarios())
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:

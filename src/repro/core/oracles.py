@@ -154,15 +154,23 @@ class WeakOracle(ABC):
         # right] could spend right-right edges and starve the outer-inner
         # pairs the framework needs.  Subclasses with their own machinery
         # (e.g. the OMv-backed oracle) override this.
+        #
+        # The scan runs in canonical (sorted) order on both axes: neighbor
+        # iteration order is backend-dependent (hash order on "adjset", index
+        # order on "csr"), so an order-sensitive greedy here would make
+        # seeded runs diverge between backends -- the same determinism
+        # contract violation as iterating in address-hash order (see
+        # "Execution layer" in ARCHITECTURE.md); cross-backend trace-replay
+        # parity is pinned by tests/test_trace.py.
         left_set = set(left)
         right_set = set(right) - left_set
         matched_left = set()
         matched_right = set()
         result: List[Edge] = []
-        for u in left_set:
+        for u in sorted(left_set):
             if u in matched_left:
                 continue
-            for v in self.graph.neighbor_list(u):
+            for v in sorted(self.graph.neighbor_list(u)):
                 if v in right_set and v not in matched_right:
                     matched_left.add(u)
                     matched_right.add(v)

@@ -1,5 +1,10 @@
 """Dynamic baselines used by the Table 2 benchmarks.
 
+Like :class:`~repro.dynamic.fully_dynamic.FullyDynamicMatching`, every
+baseline builds its :class:`DynamicGraph` log-free by default (pass
+``log_updates=True`` to keep ``dynamic_graph.log()``/``replay()`` usable)
+and takes ``backend=`` to select the snapshot's storage.
+
 * :class:`RecomputeFromScratchDynamic` -- exact blossom recomputation after
   every update: the (1)-approximation gold standard with Theta(m * n) update
   cost; the "upper wall" every dynamic algorithm must beat.
@@ -20,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from repro.graph.backends import BackendSpec
 from repro.graph.dynamic_graph import DynamicGraph, Update
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
@@ -33,8 +39,11 @@ from repro.core.oracles import GreedyMatchingOracle
 class RecomputeFromScratchDynamic(DynamicMatchingAlgorithm):
     """Exact maximum matching recomputed after every update."""
 
-    def __init__(self, n: int, counters: Optional[Counters] = None) -> None:
-        self.dynamic_graph = DynamicGraph(n)
+    def __init__(self, n: int, counters: Optional[Counters] = None,
+                 backend: BackendSpec = None,
+                 log_updates: bool = False) -> None:
+        self.dynamic_graph = DynamicGraph(n, backend=backend,
+                                          log_updates=log_updates)
         self.counters = counters if counters is not None else Counters()
         self._matching = Matching(n)
 
@@ -54,8 +63,11 @@ class RecomputeFromScratchDynamic(DynamicMatchingAlgorithm):
 class LazyGreedyDynamic(DynamicMatchingAlgorithm):
     """Maintain a maximal matching with O(degree) work per update (2-approx)."""
 
-    def __init__(self, n: int, counters: Optional[Counters] = None) -> None:
-        self.dynamic_graph = DynamicGraph(n)
+    def __init__(self, n: int, counters: Optional[Counters] = None,
+                 backend: BackendSpec = None,
+                 log_updates: bool = False) -> None:
+        self.dynamic_graph = DynamicGraph(n, backend=backend,
+                                          log_updates=log_updates)
         self.counters = counters if counters is not None else Counters()
         self._matching = Matching(n)
 
@@ -96,10 +108,13 @@ class ExponentialBoostingDynamic(DynamicMatchingAlgorithm):
     def __init__(self, n: int, eps: float,
                  rebuild_slack: float = 0.125,
                  counters: Optional[Counters] = None,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 backend: BackendSpec = None,
+                 log_updates: bool = False) -> None:
         self.eps = eps
         self.counters = counters if counters is not None else Counters()
-        self.dynamic_graph = DynamicGraph(n)
+        self.dynamic_graph = DynamicGraph(n, backend=backend,
+                                          log_updates=log_updates)
         self.rebuild_slack = rebuild_slack
         self.rng = random.Random(seed)
         self._matching = Matching(n)

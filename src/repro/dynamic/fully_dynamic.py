@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional, Tuple
 
+from repro.graph.backends import BackendSpec
 from repro.graph.dynamic_graph import DynamicGraph, Update
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
@@ -56,6 +57,15 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
         Work accounting: ``dyn_updates``, ``dyn_rebuilds``, ``update_work``
         (the amortized-update-time proxy: vertices touched per update),
         plus everything the rebuild framework charges (``weak_oracle_calls``...).
+    backend:
+        Storage backend of the maintained snapshot (``"adjset"`` / ``"csr"``).
+    log_updates:
+        Whether the underlying :class:`DynamicGraph` keeps its append-only
+        update log.  Off by default: the maintainer never reads the log, and
+        dropping it is what lets a million-update
+        :class:`~repro.workloads.streams.UpdateStream` replay in O(live
+        edges) memory.  Turn it on only to inspect ``dynamic_graph.log()`` /
+        ``replay()`` afterwards.
 
     Accounting convention (Table 2): EMPTY updates are the padding Problem 1
     allows in an update sequence; they change nothing, so they are excluded
@@ -72,11 +82,14 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
                  rebuild_slack: float = 0.125,
                  min_rebuild_gap: int = 1,
                  counters: Optional[Counters] = None,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 backend: BackendSpec = None,
+                 log_updates: bool = False) -> None:
         self.eps = eps
         self.counters = counters if counters is not None else Counters()
         self.profile = profile if profile is not None else ParameterProfile.practical(eps)
-        self.dynamic_graph = DynamicGraph(n)
+        self.dynamic_graph = DynamicGraph(n, backend=backend,
+                                          log_updates=log_updates)
         factory = oracle_factory if oracle_factory is not None else (
             lambda g: GreedyInducedWeakOracle(g, seed=seed))
         self.oracle = factory(self.dynamic_graph.graph)

@@ -15,7 +15,7 @@ Table 2 benchmarks can report amortized costs.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.dynamic_graph import DynamicGraph, Update
 from repro.graph.graph import Graph
@@ -55,13 +55,33 @@ class DynamicMatchingAlgorithm(ABC):
         self.counters.add("dyn_updates")
         return True
 
-    def process(self, updates: Sequence[Update]) -> List[int]:
-        """Process a whole sequence; returns the matching size after each update."""
-        sizes = []
-        for upd in updates:
-            self.update(upd)
-            sizes.append(self.current_matching().size)
-        return sizes
+    def process(self, updates: Iterable[Update], collect_sizes: bool = True):
+        """Process a whole sequence or lazy stream of updates.
+
+        With ``collect_sizes`` (the default) returns the matching size after
+        each update as a packed int64 NumPy array (a plain Python list when
+        NumPy is unavailable) -- 8 bytes per update instead of the ~28-byte
+        ``int`` objects the historical ``List[int]`` accumulated.  With
+        ``collect_sizes=False`` nothing is accumulated at all and ``None``
+        is returned: combined with a lazy
+        :class:`~repro.workloads.streams.UpdateStream` input, a
+        million-update replay runs in O(1) extra memory.
+        """
+        if not collect_sizes:
+            for upd in updates:
+                self.update(upd)
+            return None
+
+        def sizes() -> Iterator[int]:
+            for upd in updates:
+                self.update(upd)
+                yield self.current_matching().size
+
+        try:
+            import numpy as np
+        except ImportError:
+            return list(sizes())
+        return np.fromiter(sizes(), dtype=np.int64)
 
 
 class Problem1Instance:
@@ -130,3 +150,28 @@ class Problem1Instance:
     def chunks_from(self, updates: Sequence[Update]) -> List[List[Update]]:
         """Split a raw update sequence into padded chunks of the right size."""
         return DynamicGraph.chunk_updates(updates, self.chunk_size, pad=True)
+
+    def iter_chunks(self, updates: Iterable[Update]) -> Iterator[List[Update]]:
+        """Lazily chunk any update iterable/stream to the Problem 1 discipline.
+
+        Every yielded chunk has exactly ``chunk_size`` updates (the final
+        short chunk EMPTY-padded); only one chunk is materialized at a time,
+        so driving :meth:`apply_chunk` from an
+        :class:`~repro.workloads.streams.UpdateStream` never builds the full
+        sequence.  The chunk/padding rules live in one place --
+        :meth:`UpdateStream.chunks` -- and are delegated to here.
+        """
+        # imported lazily: the chunking helper is numpy-free, but keeping
+        # the dynamic layer's import surface minimal costs nothing
+        from repro.workloads.streams import stream_of
+
+        yield from stream_of(updates, n=self.n).chunks(self.chunk_size,
+                                                       pad=True)
+
+    def run_stream(self, updates: Iterable[Update]) -> int:
+        """Feed a whole stream through the chunk discipline; returns #chunks."""
+        count = 0
+        for chunk in self.iter_chunks(updates):
+            self.apply_chunk(chunk)
+            count += 1
+        return count

@@ -39,8 +39,9 @@ in-place mutated snapshot, exactly like the online maintainer.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.graph.backends import BackendSpec
 from repro.graph.dynamic_graph import DynamicGraph, Update
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
@@ -69,9 +70,11 @@ class OfflineDynamicMatching:
                  oracle_factory: Optional[OracleFactory] = None,
                  profile: Optional[ParameterProfile] = None,
                  counters: Optional[Counters] = None,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 backend: BackendSpec = None) -> None:
         self.n = n
         self.eps = eps
+        self.backend = backend
         self.profile = profile if profile is not None else ParameterProfile.practical(eps)
         self.counters = counters if counters is not None else Counters()
         self.oracle_factory = oracle_factory if oracle_factory is not None else (
@@ -79,14 +82,17 @@ class OfflineDynamicMatching:
         self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------ epochs
-    def plan_epochs(self, updates: Sequence[Update]) -> List[int]:
+    def plan_epochs(self, updates: Iterable[Update]) -> List[int]:
         """Choose epoch boundaries (indices into ``updates``) offline.
 
         An epoch ends after ``max(1, eps/8 * current matching-size estimate)``
         real (non-empty) updates; the estimate used is a cheap lower bound
         (half the number of live edges capped by n/2), which is available
-        offline without running any matching algorithm.
+        offline without running any matching algorithm.  Lazy inputs are
+        materialized (the offline model assumes the whole sequence is known).
         """
+        if not isinstance(updates, Sequence):
+            updates = list(updates)
         boundaries: List[int] = [0]
         live_edges = 0
         real_updates_in_epoch = 0
@@ -107,10 +113,19 @@ class OfflineDynamicMatching:
         return boundaries
 
     # --------------------------------------------------------------- processing
-    def run(self, updates: Sequence[Update]) -> List[int]:
-        """Process the whole sequence; returns the matching size after each update."""
+    def run(self, updates: Iterable[Update]) -> List[int]:
+        """Process the whole sequence; returns the matching size after each update.
+
+        Accepts any iterable (including a lazy
+        :class:`~repro.workloads.streams.UpdateStream`); the *offline* model
+        is precisely that the entire sequence is known in advance, so a lazy
+        input is materialized once here -- epoch planning reads the future.
+        """
+        if not isinstance(updates, Sequence):
+            updates = list(updates)
         boundaries = self.plan_epochs(updates)
-        dynamic = DynamicGraph(self.n)
+        dynamic = DynamicGraph(self.n, backend=self.backend,
+                               log_updates=False)
         matching = Matching(self.n)
         sizes: List[int] = []
         # one oracle/framework pair shared by every epoch of this run

@@ -72,11 +72,25 @@ class DynamicGraph:
     :meth:`delete_edges`) group consecutive same-kind updates and hand each
     run to the backend's bulk primitive in one call, so array-backed backends
     do not pay per-edge Python overhead for workload replay.
+
+    ``log_updates=False`` disables the append-only log: ``num_updates`` and
+    ``max_edges_seen`` stay exact, but :meth:`log` and :meth:`replay` raise.
+    This is how long streams replay in O(live edges) memory -- the dynamic
+    maintainers construct their graphs log-free by default, and
+    :meth:`apply_all` consumes arbitrary (lazy) iterables without
+    materializing them (record a :class:`~repro.workloads.trace.Trace` when
+    the sequence itself must be kept).
     """
 
-    def __init__(self, n: int, backend: BackendSpec = None) -> None:
+    #: bulk runs are applied in slices of at most this many updates, so a
+    #: lazy million-insert stream never materializes as one giant run
+    BULK_RUN_CAP = 4096
+
+    def __init__(self, n: int, backend: BackendSpec = None,
+                 log_updates: bool = True) -> None:
         self._graph = Graph(n, backend=backend)
-        self._log: List[Update] = []
+        self._log: Optional[List[Update]] = [] if log_updates else None
+        self._num_updates = 0
         self._max_edges = 0
 
     # ------------------------------------------------------------------ basic
@@ -96,7 +110,12 @@ class DynamicGraph:
 
     @property
     def num_updates(self) -> int:
-        return len(self._log)
+        return self._num_updates
+
+    @property
+    def logs_updates(self) -> bool:
+        """Whether the append-only update log is kept."""
+        return self._log is not None
 
     @property
     def graph(self) -> Graph:
@@ -104,7 +123,11 @@ class DynamicGraph:
         return self._graph
 
     def log(self) -> Sequence[Update]:
-        """The full update log."""
+        """The full update log (requires ``log_updates=True``)."""
+        if self._log is None:
+            raise RuntimeError(
+                "update log disabled (log_updates=False); record the stream "
+                "to a repro.workloads.Trace if it must be kept")
         return tuple(self._log)
 
     # ---------------------------------------------------------------- updates
@@ -115,7 +138,9 @@ class DynamicGraph:
             changed = self._graph.add_edge(update.u, update.v)
         elif update.kind == Update.DELETE:
             changed = self._graph.remove_edge(update.u, update.v)
-        self._log.append(update)
+        if self._log is not None:
+            self._log.append(update)
+        self._num_updates += 1
         self._max_edges = max(self._max_edges, self._graph.m)
         return changed
 
@@ -125,18 +150,24 @@ class DynamicGraph:
     def delete(self, u: int, v: int) -> bool:
         return self.apply(Update.delete(u, v))
 
-    @staticmethod
-    def _grouped_runs(updates: Sequence[Update]) -> Iterator[Tuple[str, List[Update]]]:
-        """Yield maximal runs of consecutive same-kind updates."""
-        i = 0
-        total = len(updates)
-        while i < total:
-            kind = updates[i].kind
-            j = i
-            while j < total and updates[j].kind == kind:
-                j += 1
-            yield kind, list(updates[i:j])
-            i = j
+    @classmethod
+    def _grouped_runs(cls, updates: Iterable[Update]) -> Iterator[Tuple[str, List[Update]]]:
+        """Yield runs of consecutive same-kind updates, lazily.
+
+        Consumes any iterable one update at a time; a run is cut at a kind
+        change or at :data:`BULK_RUN_CAP` updates, so peak buffering is
+        O(cap) no matter how long the input stream is.
+        """
+        run: List[Update] = []
+        kind: Optional[str] = None
+        for upd in updates:
+            if run and (upd.kind != kind or len(run) >= cls.BULK_RUN_CAP):
+                yield kind, run
+                run = []
+            kind = upd.kind
+            run.append(upd)
+        if run:
+            yield kind, run
 
     def _check_updates(self, updates: Sequence[Update]) -> None:
         """Validate every endpoint up front so a bad update cannot leave the
@@ -149,26 +180,41 @@ class DynamicGraph:
                 raise ValueError(f"vertex {w} out of range [0, {n})")
 
     def apply_all(self, updates: Iterable[Update]) -> int:
-        """Apply a sequence of updates; returns how many changed the graph.
+        """Apply a sequence/stream of updates; returns how many changed the graph.
 
         Consecutive updates of the same kind are applied through the
-        backend's bulk ``add_edges`` / ``remove_edges`` in a single call.
-        ``max_edges_seen`` is still tracked exactly: within a run of
-        insertions the edge count is maximal at the end of the run, and
-        within a run of deletions at its start, so checking after each run
-        observes every intermediate maximum.  The whole sequence is validated
-        before anything is applied, so a malformed update raises without
-        mutating the snapshot or the log.
+        backend's bulk ``add_edges`` / ``remove_edges`` (in slices of at most
+        :data:`BULK_RUN_CAP`).  ``max_edges_seen`` is still tracked exactly:
+        within a run of insertions the edge count is maximal at the end of
+        the run, and within a run of deletions at its start, so checking
+        after each run observes every intermediate maximum.
+
+        Lazy inputs (:class:`~repro.workloads.streams.UpdateStream`,
+        generators) are consumed one run at a time -- peak extra memory is
+        O(``BULK_RUN_CAP``), independent of the stream length.  Validation
+        matches the input shape: a materialized ``Sequence`` is validated in
+        full before anything is applied (a malformed update raises without
+        mutating the snapshot or the log, the historical contract); for a
+        lazy stream each run is validated before *that run* is applied, so
+        a malformed update can leave earlier runs applied but never a
+        half-applied run or an inconsistent log/``max_edges_seen``.
         """
-        updates = list(updates)
-        self._check_updates(updates)
+        if isinstance(updates, Sequence):
+            self._check_updates(updates)
+            pre_validated = True
+        else:
+            pre_validated = False
         changed = 0
         for kind, run in self._grouped_runs(updates):
+            if not pre_validated:
+                self._check_updates(run)
             if kind == Update.INSERT:
                 changed += self._graph.add_edges((upd.u, upd.v) for upd in run)
             elif kind == Update.DELETE:
                 changed += self._graph.remove_edges((upd.u, upd.v) for upd in run)
-            self._log.extend(run)
+            if self._log is not None:
+                self._log.extend(run)
+            self._num_updates += len(run)
             self._max_edges = max(self._max_edges, self._graph.m)
         return changed
 
@@ -203,8 +249,13 @@ class DynamicGraph:
         """Rebuild the snapshot after the first ``upto`` updates (offline use).
 
         Replays run-by-run through the bulk mutation API on the same backend
-        as the live snapshot.
+        as the live snapshot.  Requires the update log
+        (``log_updates=True``).
         """
+        if self._log is None:
+            raise RuntimeError(
+                "update log disabled (log_updates=False); replay from a "
+                "recorded repro.workloads.Trace instead")
         upto = len(self._log) if upto is None else upto
         g = Graph(self.n, backend=self._graph.backend_name)
         for kind, run in self._grouped_runs(self._log[:upto]):

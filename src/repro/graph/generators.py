@@ -22,15 +22,12 @@ produces the same edge set on every backend.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional, Sequence, Tuple
 
 from repro.graph.backends import BackendSpec
 from repro.graph.graph import Graph
-
-
-def _rng(seed: Optional[int]) -> random.Random:
-    return random.Random(seed)
+# the single repo-wide seed convention (named substreams live there too)
+from repro.utils.seeding import rng as _rng
 
 
 # ---------------------------------------------------------------------------

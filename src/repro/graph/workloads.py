@@ -1,168 +1,77 @@
-"""Dynamic update-sequence generators (workloads for the Section 7 algorithms).
+"""Deprecated shim over :mod:`repro.workloads` (the eager list-based API).
 
-The dynamic benchmarks need online sequences of edge insertions/deletions.  The
-families below cover the regimes the paper's dynamic results target:
+The workload generators moved to the first-class :mod:`repro.workloads`
+subsystem, where they are *lazy* :class:`~repro.workloads.streams.
+UpdateStream` sources (composable, recordable to traces, O(1) memory to
+replay).  This module keeps the historical eager signatures alive for old
+callers -- each function materializes the corresponding stream and returns
+exactly the update lists (and ``(n, updates)`` tuples) it always returned,
+draw for draw.
 
-* ``insertion_only`` / ``sliding_window`` -- classic incremental and
-  turnstile-style streams over a random graph,
-* ``planted_matching_churn`` -- a planted perfect matching whose edges are
-  repeatedly deleted and re-inserted (keeps mu(G) = Theta(n) as Theorem 6.2
-  assumes, while forcing the maintainer to re-augment),
-* ``ors_reveal`` -- reveals an ORS-style graph matching-by-matching then
-  deletes it again (the hard instances behind Table 2's ORS dependence),
-* ``adversarial_matched_edge_deletions`` -- deletes edges of the currently
-  maintained matching (adaptive-adversary flavour).
+New code should import from :mod:`repro.workloads` and keep the stream lazy:
+
+    from repro.workloads import planted_matching_churn
+
+    stream = planted_matching_churn(15, rounds=4, seed=0)   # lazy
+    alg.process(stream, collect_sizes=False)                # O(1) memory
+
+A :class:`DeprecationWarning` is emitted on import of this module.
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.graph.dynamic_graph import Update
-from repro.graph.generators import ors_layered_graph, planted_matching
+from repro.workloads import sources as _sources
 
-
-def _rng(seed: Optional[int]) -> random.Random:
-    return random.Random(seed)
+warnings.warn(
+    "repro.graph.workloads is deprecated; use the lazy stream sources in "
+    "repro.workloads instead", DeprecationWarning, stacklevel=2)
 
 
 def insertion_only(n: int, m: int, seed: Optional[int] = None) -> List[Update]:
-    """``m`` random distinct edge insertions on ``n`` vertices."""
-    rng = _rng(seed)
-    seen = set()
-    updates: List[Update] = []
-    max_m = n * (n - 1) // 2
-    target = min(m, max_m)
-    while len(updates) < target:
-        u, v = rng.randrange(n), rng.randrange(n)
-        if u == v:
-            continue
-        e = (min(u, v), max(u, v))
-        if e in seen:
-            continue
-        seen.add(e)
-        updates.append(Update.insert(*e))
-    return updates
+    """``m`` random distinct edge insertions on ``n`` vertices (eager)."""
+    return list(_sources.insertion_only(n, m, seed=seed))
 
 
 def sliding_window(n: int, num_updates: int, window: int,
                    seed: Optional[int] = None) -> List[Update]:
-    """Insert random edges; delete each edge ``window`` updates after insertion.
-
-    The effective window is capped at ``n * (n - 1) / 2``, the number of
-    possible edges: with a larger window every possible edge can be live at
-    once with no deletion due, so no fresh edge could ever be inserted and the
-    generator would spin forever (e.g. ``sliding_window(3, 10, 10)``).
-    Degenerate inputs terminate: ``n < 2`` admits no edge at all and yields an
-    empty sequence, and ``window < 1`` is rejected outright.
-    """
-    if window < 1:
-        raise ValueError(f"window must be >= 1, got {window}")
-    if n < 2 or num_updates <= 0:
-        return []
-    rng = _rng(seed)
-    window = min(window, n * (n - 1) // 2)
-    updates: List[Update] = []
-    live: List[Tuple[int, int]] = []
-    present = set()
-    while len(updates) < num_updates:
-        if len(live) >= window:
-            e = live.pop(0)
-            present.discard(e)
-            updates.append(Update.delete(*e))
-            continue
-        u, v = rng.randrange(n), rng.randrange(n)
-        if u == v:
-            continue
-        e = (min(u, v), max(u, v))
-        if e in present:
-            continue
-        present.add(e)
-        live.append(e)
-        updates.append(Update.insert(*e))
-    return updates[:num_updates]
+    """Turnstile stream with per-edge expiry after ``window`` updates (eager)."""
+    return list(_sources.sliding_window(n, num_updates, window, seed=seed))
 
 
-def planted_matching_churn(n_pairs: int, rounds: int, churn_fraction: float = 0.25,
+def planted_matching_churn(n_pairs: int, rounds: int,
+                           churn_fraction: float = 0.25,
                            noise_prob: float = 0.02,
                            seed: Optional[int] = None) -> Tuple[int, List[Update]]:
-    """Workload keeping mu(G) = Theta(n) while repeatedly breaking the matching.
-
-    Builds a planted perfect matching plus noise, then for ``rounds`` rounds
-    deletes a ``churn_fraction`` of the planted edges and re-inserts them.
-    Returns ``(n, updates)``.
-
-    ``churn_fraction`` must lie in ``(0, 1]`` (it is a fraction of the planted
-    edges; anything above 1 would ask ``rng.sample`` for more victims than
-    exist).  The graph and the churn stream draw from two RNG streams derived
-    independently from ``seed``, so the noise edges added during construction
-    never perturb which planted edges get churned.
-    """
-    if n_pairs < 1:
-        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
-    if not 0.0 < churn_fraction <= 1.0:
-        raise ValueError(
-            f"churn_fraction must be in (0, 1], got {churn_fraction}")
-    root = _rng(seed)
-    graph_seed = root.randrange(2 ** 63)
-    rng = random.Random(root.randrange(2 ** 63))
-    graph, planted = planted_matching(n_pairs, extra_edge_prob=noise_prob,
-                                      seed=graph_seed)
-    n = graph.n
-    updates: List[Update] = [Update.insert(u, v) for u, v in graph.edges()]
-    k = max(1, int(churn_fraction * len(planted)))
-    for _ in range(rounds):
-        victims = rng.sample(planted, k)
-        for u, v in victims:
-            updates.append(Update.delete(u, v))
-        for u, v in victims:
-            updates.append(Update.insert(u, v))
-    return n, updates
+    """Planted-matching churn workload; returns ``(n, updates)`` (eager)."""
+    stream = _sources.planted_matching_churn(
+        n_pairs, rounds, churn_fraction=churn_fraction,
+        noise_prob=noise_prob, seed=seed)
+    return stream.n, list(stream)
 
 
 def ors_reveal(n: int, matching_size: int, num_matchings: int,
                seed: Optional[int] = None) -> Tuple[int, List[Update]]:
-    """Reveal an ORS-style graph matching-by-matching, then delete it in order."""
-    graph, matchings = ors_layered_graph(n, matching_size, num_matchings, seed=seed)
-    updates: List[Update] = []
-    for mi in matchings:
-        for u, v in mi:
-            updates.append(Update.insert(u, v))
-    for mi in matchings:
-        for u, v in mi:
-            updates.append(Update.delete(u, v))
-    return n, updates
+    """ORS reveal-then-delete workload; returns ``(n, updates)`` (eager)."""
+    stream = _sources.ors_reveal(n, matching_size, num_matchings, seed=seed)
+    return stream.n, list(stream)
 
 
 def adversarial_matched_edge_deletions(
         n_pairs: int, rounds: int,
         current_matching: Callable[[], Sequence[Tuple[int, int]]],
         seed: Optional[int] = None) -> Tuple[int, Callable[[], Optional[Update]]]:
-    """Adaptive workload: each step deletes an edge of the *current* matching.
-
-    Because the choice depends on the maintainer's state, this returns a
-    callable producing the next update lazily; the benchmark drives it.
-    ``current_matching`` is queried each step.  When the matching is empty a
-    random re-insertion of a previously deleted edge is produced instead.
-    """
-    rng = _rng(seed)
-    deleted: List[Tuple[int, int]] = []
-    remaining = rounds * 2
+    """Adaptive matched-edge deletions; returns ``(n, next_update)`` where
+    ``next_update()`` yields the next update and ``None`` when exhausted
+    (the historical pull-callable protocol, now a view over the stream)."""
+    stream = _sources.adversarial_matched_edge_deletions(
+        n_pairs, rounds, current_matching, seed=seed)
+    iterator = iter(stream)
 
     def next_update() -> Optional[Update]:
-        nonlocal remaining
-        if remaining <= 0:
-            return None
-        remaining -= 1
-        matching = list(current_matching())
-        if matching and (not deleted or rng.random() < 0.6):
-            u, v = matching[rng.randrange(len(matching))]
-            deleted.append((min(u, v), max(u, v)))
-            return Update.delete(u, v)
-        if deleted:
-            u, v = deleted.pop(rng.randrange(len(deleted)))
-            return Update.insert(u, v)
-        return Update.empty()
+        return next(iterator, None)
 
-    return 2 * n_pairs, next_update
+    return stream.n, next_update

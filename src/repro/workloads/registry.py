@@ -1,0 +1,105 @@
+"""Named workload specs: the bench suite's ``--workload`` vocabulary.
+
+A *workload spec* is a string the benchmark CLI accepts and this module
+resolves into an :class:`~repro.workloads.streams.UpdateStream`:
+
+* a **registered name** (``"churn"``, ``"sliding_window"``, ...) -- a
+  factory ``fn(smoke, seed) -> UpdateStream`` registered with
+  :func:`register_workload`; factories own their smoke-vs-full sizing so
+  every scenario that takes ``workload=`` inherits seconds-scale smoke
+  configurations for free;
+* a **trace path** (``"trace:benchmarks/data/foo.npz"``) -- a recorded
+  :class:`~repro.workloads.trace.Trace` replayed verbatim; ``smoke`` and
+  ``seed`` are ignored because a trace *is* its bytes.
+
+Benchmark modules may register additional (e.g. data-file-backed) names at
+import time, exactly like bench scenarios register themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads import sources
+from repro.workloads.streams import UpdateStream
+
+#: ``fn(smoke, seed) -> UpdateStream``
+WorkloadFactory = Callable[[bool, int], UpdateStream]
+
+TRACE_PREFIX = "trace:"
+
+_WORKLOADS: Dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str, description: str = ""):
+    """Decorator registering a workload factory under ``name``.
+
+    Re-registering a name overwrites the previous entry (same idempotence
+    contract as the scenario registry).  Names must not collide with the
+    ``trace:`` prefix.
+    """
+    if name.startswith(TRACE_PREFIX):
+        raise ValueError(f"workload names must not start with {TRACE_PREFIX!r}")
+
+    def decorator(fn: WorkloadFactory) -> WorkloadFactory:
+        fn.description = description  # type: ignore[attr-defined]
+        _WORKLOADS[name] = fn
+        return fn
+
+    return decorator
+
+
+def workload_names() -> List[str]:
+    return sorted(_WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadFactory:
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; registered: "
+                       f"{workload_names() or '(none)'}") from None
+
+
+def resolve_workload(spec: str, smoke: bool = False,
+                     seed: int = 0) -> UpdateStream:
+    """Turn a workload spec string into a stream (see module docstring)."""
+    if spec.startswith(TRACE_PREFIX):
+        from repro.workloads.trace import Trace
+
+        path = spec[len(TRACE_PREFIX):]
+        if not path:
+            raise ValueError("trace workload spec needs a path: trace:<path>")
+        return Trace.load(path).stream(name=spec)
+    return get_workload(spec)(smoke, seed)
+
+
+# ---------------------------------------------------------------------------
+# built-in synthetic workloads (smoke sizing mirrors the table2 scenarios)
+# ---------------------------------------------------------------------------
+
+@register_workload("churn", "planted perfect matching churned round by round")
+def _churn(smoke: bool, seed: int) -> UpdateStream:
+    pairs, rounds = (8, 2) if smoke else (15, 4)
+    return sources.planted_matching_churn(pairs, rounds=rounds, seed=seed)
+
+
+@register_workload("sliding_window",
+                   "turnstile stream, live edges bounded by the window")
+def _sliding_window(smoke: bool, seed: int) -> UpdateStream:
+    n, num_updates, window = (20, 80, 20) if smoke else (30, 240, 45)
+    return sources.sliding_window(n, num_updates, window=window, seed=seed)
+
+
+@register_workload("insertion_only", "distinct random edge insertions")
+def _insertion_only(smoke: bool, seed: int) -> UpdateStream:
+    n, m = (24, 60) if smoke else (60, 400)
+    return sources.insertion_only(n, m, seed=seed)
+
+
+@register_workload("ors_reveal",
+                   "ORS-style graph revealed matching-by-matching, then "
+                   "deleted")
+def _ors_reveal(smoke: bool, seed: int) -> UpdateStream:
+    n, r, t = (24, 3, 3) if smoke else (60, 6, 5)
+    return sources.ors_reveal(n, r, t, seed=seed)

@@ -39,7 +39,7 @@ ALL_SCENARIOS = (
     "ablation_schedule", "backends", "fig1_structures", "fig2_overtake",
     "fig3_hprime_decay", "fig4_sampling", "lemma53_initial_matching",
     "quality_vs_eps", "scaling_n", "table1_congest", "table1_mpc",
-    "table2_dynamic", "table2_offline", "table2_omv",
+    "table2_dynamic", "table2_offline", "table2_omv", "table2_realgraph",
 )
 
 
@@ -202,6 +202,19 @@ class TestDiscovery:
         assert cli.main(["run", "--suite", "_no_such_suite"]) == 2
         capsys.readouterr()
 
+    def test_run_list_enumerates_without_running(self, toy_scenario, capsys):
+        _, calls = toy_scenario
+        # bare --list enumerates everything; with a selection, just that
+        assert cli.main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_SCENARIOS:
+            assert name in out
+        assert "selectors" in out and "workload" in out
+        assert cli.main(["run", "--suite", "_toysuite", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "_toy" in out and "table2_dynamic" not in out
+        assert not calls  # nothing was executed
+
     def test_run_cli_rejects_unknown_backend(self, toy_scenario, capsys):
         assert cli.main(["run", "--scenario", "_toy",
                          "--backend", "czr"]) == 2  # typo of "csr"
@@ -294,6 +307,19 @@ def test_smoke_gate_all_scenarios(tmp_path):
     backends = {record["params"]["backend"] for record in records
                 if record["scenario"] == "backends"}
     assert backends == {"adjset", "csr"}
+
+    # trace record/replay parity: table2_realgraph re-records the karate
+    # stream from the raw edge list and fails if it drifts from the
+    # committed trace fixture (benchmarks/data/karate_w40.npz); its records
+    # replaying that one trace must agree between the two backends on every
+    # algorithm counter (wall_s/timestamp are the only host-dependent
+    # fields).
+    realgraph = [record for record in records
+                 if record["scenario"] == "table2_realgraph"]
+    assert {r["params"]["backend"] for r in realgraph} == {"adjset", "csr"}
+    by_backend = {r["params"]["backend"]: r["counters"] for r in realgraph}
+    assert by_backend["adjset"] == by_backend["csr"]
+    assert by_backend["adjset"]["trace_updates"] == 116.0
 
     # ---- perf gate: wall-time regressions vs the committed baseline fail
     # loudly.  The threshold is generous (hosts differ, smoke runs are

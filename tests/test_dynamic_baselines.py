@@ -1,6 +1,6 @@
 """Tests for the dynamic baselines used in the Table 2 benchmarks."""
 
-from repro.graph.workloads import insertion_only, planted_matching_churn
+from repro.workloads import insertion_only, planted_matching_churn
 from repro.matching.blossom import maximum_matching_size
 from repro.instrumentation.counters import Counters
 from repro.dynamic.baselines import (
@@ -30,8 +30,8 @@ class TestRecompute:
 
 class TestLazyGreedy:
     def test_two_approximation_throughout(self):
-        n, updates = planted_matching_churn(10, rounds=3, seed=3)
-        alg = LazyGreedyDynamic(n)
+        updates = planted_matching_churn(10, rounds=3, seed=3)
+        alg = LazyGreedyDynamic(updates.n)
         for upd in updates:
             alg.update(upd)
             m = alg.current_matching()
@@ -46,14 +46,14 @@ class TestLazyGreedy:
         for upd in updates:
             alg.update(upd)
         # work is O(degree) per update, far below n per update
-        assert counters.get("update_work") < 20 * len(updates)
+        assert counters.get("update_work") < 20 * updates.length
 
 
 class TestExponentialBaseline:
     def test_valid_and_reasonable(self):
-        n, updates = planted_matching_churn(8, rounds=2, seed=5)
+        updates = planted_matching_churn(8, rounds=2, seed=5)
         counters = Counters()
-        alg = ExponentialBoostingDynamic(n, 0.25, counters=counters, seed=5)
+        alg = ExponentialBoostingDynamic(updates.n, 0.25, counters=counters, seed=5)
         for upd in updates:
             alg.update(upd)
             alg.current_matching().validate(alg.dynamic_graph.graph)

@@ -73,3 +73,39 @@ class TestDynamicGraph:
     def test_chunking_rejects_bad_size(self):
         with pytest.raises(ValueError):
             DynamicGraph.chunk_updates([], 0)
+
+
+class TestLogFreeMode:
+    def test_counts_without_log(self):
+        dg = DynamicGraph(6, log_updates=False)
+        assert not dg.logs_updates
+        dg.insert(0, 1)
+        dg.insert(1, 2)
+        dg.delete(0, 1)
+        assert dg.num_updates == 3
+        assert dg.m == 1 and dg.max_edges_seen == 2
+
+    def test_log_and_replay_raise(self):
+        dg = DynamicGraph(4, log_updates=False)
+        dg.insert(0, 1)
+        with pytest.raises(RuntimeError, match="log disabled"):
+            dg.log()
+        with pytest.raises(RuntimeError, match="log disabled"):
+            dg.replay()
+
+    def test_apply_all_generator_input(self):
+        updates = [Update.insert(i, i + 1) for i in range(5)]
+        dg = DynamicGraph(6)
+        assert dg.apply_all(iter(updates)) == 5  # lazy input, same result
+        assert dg.log() == tuple(updates)
+        assert sorted(dg.replay().edges()) == sorted(dg.graph.edges())
+
+    def test_streamed_apply_all_validates_per_run(self):
+        bad = [Update.insert(0, 1), Update.insert(2, 9)]  # 9 out of range
+        dg = DynamicGraph(4)
+        with pytest.raises(ValueError, match="out of range"):
+            dg.apply_all(iter(bad))  # lazy: validated run-by-run
+        eager = DynamicGraph(4)
+        with pytest.raises(ValueError, match="out of range"):
+            eager.apply_all(bad)  # eager: validated up front, nothing applied
+        assert eager.m == 0 and eager.num_updates == 0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph.dynamic_graph import Update
-from repro.graph.workloads import insertion_only
+from repro.workloads import insertion_only
 from repro.instrumentation.counters import Counters
 from repro.dynamic.interfaces import Problem1Instance
 from repro.dynamic.weak_oracles import GreedyInducedWeakOracle
@@ -32,7 +32,7 @@ class TestChunks:
     def test_chunks_from_pads(self):
         inst = make_instance(n=20, alpha=0.1)
         updates = insertion_only(20, 5, seed=1)
-        chunks = inst.chunks_from(updates)
+        chunks = list(inst.iter_chunks(updates))
         assert all(len(c) == inst.chunk_size for c in chunks)
         for chunk in chunks:
             inst.apply_chunk(chunk)
@@ -47,7 +47,7 @@ class TestChunks:
 class TestQueries:
     def test_query_limit_per_chunk(self):
         inst = make_instance(q=2)
-        chunk = inst.chunks_from(insertion_only(20, 2, seed=2))[0]
+        chunk = next(inst.iter_chunks(insertion_only(20, 2, seed=2)))
         inst.apply_chunk(chunk)
         inst.query(list(range(20)))
         inst.query(list(range(20)))
@@ -60,7 +60,7 @@ class TestQueries:
     def test_query_answers_follow_definition61(self):
         inst = make_instance(n=30, alpha=0.2, q=5)
         updates = insertion_only(30, 40, seed=3)
-        for chunk in inst.chunks_from(updates):
+        for chunk in inst.iter_chunks(updates):
             inst.apply_chunk(chunk)
         result = inst.query(list(range(30)))
         if result is not None:

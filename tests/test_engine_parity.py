@@ -24,7 +24,7 @@ from repro.dynamic.fully_dynamic import FullyDynamicMatching
 from repro.dynamic.offline import OfflineDynamicMatching
 from repro.dynamic.weak_oracles import GreedyInducedWeakOracle
 from repro.graph.generators import erdos_renyi
-from repro.graph.workloads import planted_matching_churn, sliding_window
+from repro.workloads import planted_matching_churn, sliding_window
 from repro.instrumentation.counters import Counters
 from repro.matching.greedy import greedy_maximal_matching
 
@@ -84,7 +84,8 @@ class TestPhaseParity:
 class TestDynamicParity:
     @pytest.mark.parametrize("seed", range(3))
     def test_fully_dynamic_stream(self, seed):
-        n, updates = planted_matching_churn(8, rounds=2, seed=seed)
+        stream = planted_matching_churn(8, rounds=2, seed=seed)
+        n, updates = stream.n, stream
         results = []
         for profile in (ARRAY, REFERENCE):
             counters = Counters()

@@ -26,6 +26,16 @@ def test_quickstart_runs_and_reports_quality():
     assert "matching validated." in result.stdout
 
 
+def test_trace_replay_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "trace_replay.py")],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr
+    assert "round-trips byte-identically: True" in result.stdout
+    assert "backend runs byte-identical: True" in result.stdout
+    assert "karate club" in result.stdout
+
+
 def test_congest_demo_runs():
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "congest_demo.py")],

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph.dynamic_graph import Update
-from repro.graph.workloads import insertion_only, planted_matching_churn, sliding_window
+from repro.workloads import insertion_only, planted_matching_churn, sliding_window
 from repro.matching.blossom import maximum_matching_size
 from repro.matching.verify import certify_approximation
 from repro.instrumentation.counters import Counters
@@ -16,18 +16,18 @@ EPS = 0.25
 
 class TestMaintenance:
     def test_matching_always_valid(self):
-        n, updates = planted_matching_churn(10, rounds=3, seed=1)
-        alg = FullyDynamicMatching(n, EPS, seed=1)
+        updates = planted_matching_churn(10, rounds=3, seed=1)
+        alg = FullyDynamicMatching(updates.n, EPS, seed=1)
         for upd in updates:
             alg.update(upd)
             alg.current_matching().validate(alg.graph)
 
     def test_approximation_at_checkpoints(self):
-        n, updates = planted_matching_churn(12, rounds=4, seed=2)
-        alg = FullyDynamicMatching(n, EPS, seed=2)
+        updates = planted_matching_churn(12, rounds=4, seed=2)
+        alg = FullyDynamicMatching(updates.n, EPS, seed=2)
         for idx, upd in enumerate(updates):
             alg.update(upd)
-            if idx % 25 == 0 or idx == len(updates) - 1:
+            if idx % 25 == 0 or idx == updates.length - 1:
                 m = alg.current_matching()
                 ok, ratio = certify_approximation(alg.graph, m, EPS)
                 assert ok, f"update {idx}: ratio {ratio}"
@@ -100,12 +100,12 @@ class TestAccounting:
         assert alg.amortized_update_work() == amortized_before
 
     def test_counters_and_amortized_work(self):
-        n, updates = planted_matching_churn(8, rounds=2, seed=7)
+        updates = planted_matching_churn(8, rounds=2, seed=7)
         counters = Counters()
-        alg = FullyDynamicMatching(n, EPS, counters=counters, seed=7)
+        alg = FullyDynamicMatching(updates.n, EPS, counters=counters, seed=7)
         for upd in updates:
             alg.update(upd)
-        assert counters.get("dyn_updates") == len(updates)
+        assert counters.get("dyn_updates") == updates.length
         assert counters.get("dyn_rebuilds") >= 1
         assert counters.get("weak_oracle_calls") > 0
         assert alg.amortized_update_work() > 0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph.generators import blossom_gadget, disjoint_paths, erdos_renyi, planted_matching
-from repro.graph.workloads import planted_matching_churn
+from repro.workloads import planted_matching_churn
 from repro.matching.blossom import maximum_matching_size
 from repro.matching.verify import certify_approximation
 from repro.instrumentation.counters import Counters
@@ -72,10 +72,10 @@ class TestOracleCallAccountingConsistency:
 
 class TestDynamicEndToEnd:
     def test_dynamic_with_omv_oracle_stays_approximate(self):
-        n, updates = planted_matching_churn(8, rounds=2, seed=31)
+        updates = planted_matching_churn(8, rounds=2, seed=31)
         counters = Counters()
         alg = FullyDynamicMatching(
-            n, EPS, counters=counters, seed=31,
+            updates.n, EPS, counters=counters, seed=31,
             oracle_factory=lambda g: OMvWeakOracle(g, counters=counters))
         for upd in updates:
             alg.update(upd)
@@ -86,8 +86,8 @@ class TestDynamicEndToEnd:
         assert counters.get("weak_oracle_calls") > 0
 
     def test_dynamic_matches_static_on_final_graph(self):
-        n, updates = planted_matching_churn(10, rounds=3, seed=32)
-        alg = FullyDynamicMatching(n, EPS, seed=32)
+        updates = planted_matching_churn(10, rounds=3, seed=32)
+        alg = FullyDynamicMatching(updates.n, EPS, seed=32)
         for upd in updates:
             alg.update(upd)
         static = boost_matching(alg.graph, EPS, seed=32)

@@ -1,7 +1,7 @@
 """Tests for the offline dynamic algorithm (Theorem 7.15 flavour)."""
 
 from repro.graph.dynamic_graph import DynamicGraph
-from repro.graph.workloads import insertion_only, planted_matching_churn, sliding_window
+from repro.workloads import insertion_only, planted_matching_churn, sliding_window
 from repro.matching.blossom import maximum_matching_size
 from repro.instrumentation.counters import Counters
 from repro.dynamic.offline import OfflineDynamicMatching
@@ -15,11 +15,12 @@ class TestOffline:
         updates = insertion_only(20, 40, seed=1)
         alg = OfflineDynamicMatching(20, EPS, seed=1)
         sizes = alg.run(updates)
-        assert len(sizes) == len(updates)
+        assert len(sizes) == updates.length
         assert all(b >= a - 1 for a, b in zip(sizes, sizes[1:]))  # sizes move by <= 1
 
     def test_final_size_near_optimal(self):
-        n, updates = planted_matching_churn(10, rounds=3, seed=2)
+        updates = planted_matching_churn(10, rounds=3, seed=2)
+        n = updates.n
         alg = OfflineDynamicMatching(n, EPS, seed=2)
         sizes = alg.run(updates)
         dg = DynamicGraph(n)
@@ -28,7 +29,7 @@ class TestOffline:
         assert sizes[-1] >= opt / (1 + EPS) - 1
 
     def test_epoch_plan_covers_sequence(self):
-        updates = sliding_window(20, 60, window=15, seed=3)
+        updates = sliding_window(20, 60, window=15, seed=3).materialize()
         alg = OfflineDynamicMatching(20, EPS, seed=3)
         boundaries = alg.plan_epochs(updates)
         assert boundaries[0] == 0 and boundaries[-1] == len(updates)
@@ -40,7 +41,7 @@ class TestOffline:
         alg = OfflineDynamicMatching(20, EPS, counters=counters, seed=4)
         alg.run(updates)
         assert counters.get("offline_epochs") >= 1
-        assert counters.get("dyn_updates") == len(updates)
+        assert counters.get("dyn_updates") == updates.length
         assert alg.amortized_update_work() > 0
 
     def test_empty_sequence(self):
@@ -80,9 +81,8 @@ class TestOffline:
 def test_empty_updates_excluded_from_amortization():
     """Offline runs share the Table 2 EMPTY-padding accounting convention."""
     from repro.graph.dynamic_graph import Update
-    from repro.graph.workloads import insertion_only
 
-    updates = insertion_only(12, 20, seed=5)
+    updates = insertion_only(12, 20, seed=5).materialize()
     padded = []
     for upd in updates:
         padded.append(upd)

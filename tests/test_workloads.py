@@ -1,4 +1,10 @@
-"""Unit tests for the dynamic workload generators."""
+"""Unit tests for the legacy eager workload API (``repro.graph.workloads``).
+
+The module is now a deprecation shim over the lazy stream sources in
+``repro.workloads``; these tests keep the historical list-based contracts
+pinned (counts, determinism, termination) and additionally pin the shim's
+draw-for-draw equivalence with the streams it wraps.
+"""
 
 import pytest
 
@@ -164,3 +170,56 @@ class TestAdversarial:
             5, rounds=3, current_matching=matching.edge_list, seed=9)
         pulls = [next_update() for _ in range(10)]
         assert any(p is None for p in pulls)
+
+
+class TestShimStreamEquivalence:
+    """The shim must return exactly what its stream source generates."""
+
+    def test_deprecation_warning_on_import(self):
+        import importlib
+        import warnings
+
+        import repro.graph.workloads as shim
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(shim)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
+    def test_eager_results_match_streams(self):
+        from repro import workloads as streams
+
+        assert insertion_only(18, 25, seed=40) == \
+            list(streams.insertion_only(18, 25, seed=40))
+        assert sliding_window(12, 70, window=9, seed=41) == \
+            list(streams.sliding_window(12, 70, window=9, seed=41))
+        n, updates = planted_matching_churn(9, rounds=3, seed=42)
+        stream = streams.planted_matching_churn(9, rounds=3, seed=42)
+        assert (n, updates) == (stream.n, list(stream))
+        n, updates = ors_reveal(28, 3, 3, seed=43)
+        stream = streams.ors_reveal(28, 3, 3, seed=43)
+        assert (n, updates) == (stream.n, list(stream))
+
+    def test_adversarial_callable_matches_stream(self):
+        from repro import workloads as streams
+        from repro.matching.matching import Matching
+
+        def pulls(make_matching):
+            matching = make_matching()
+            n, next_update = adversarial_matched_edge_deletions(
+                5, rounds=4, current_matching=matching.edge_list, seed=44)
+            out = []
+            while True:
+                upd = next_update()
+                if upd is None:
+                    break
+                out.append(upd)
+            return n, out
+
+        n_old, old = pulls(lambda: Matching(10, [(0, 1), (2, 3)]))
+        stream = streams.adversarial_matched_edge_deletions(
+            5, rounds=4,
+            current_matching=Matching(10, [(0, 1), (2, 3)]).edge_list,
+            seed=44)
+        assert (n_old, old) == (stream.n, list(stream))

@@ -36,8 +36,10 @@ from repro.bench.results import (
 )
 from repro.bench.compare import compare_records, regressions
 from repro.bench.discovery import load_benchmark_modules
+from repro.bench.latency import LatencyRecorder, summarize_ns
 
 __all__ = [
+    "LatencyRecorder",
     "RECORD_KEYS",
     "RunSpec",
     "Scenario",
@@ -55,6 +57,7 @@ __all__ = [
     "scenarios",
     "smoke_mode",
     "suite_names",
+    "summarize_ns",
     "unregister",
     "validate_record",
     "write_suite",

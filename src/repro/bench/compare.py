@@ -24,6 +24,14 @@ def record_key(record: Mapping[str, object]) -> Key:
 def metric_value(record: Mapping[str, object], metric: str):
     if metric == "wall_s":
         return record.get("wall_s")
+    if "." in metric:
+        # dotted path into a nested record section, e.g. "latency.p99"
+        section, _, field = metric.partition(".")
+        nested = record.get(section)
+        if isinstance(nested, Mapping):
+            value = nested.get(field)
+            if value is not None:
+                return value
     return record.get("counters", {}).get(metric)
 
 

@@ -1,0 +1,64 @@
+"""Per-update latency measurement for the dynamic benchmark scenarios.
+
+``wall_s`` measures a whole scenario; the dynamic maintainers' interesting
+quantity is the *distribution* of single-update latencies -- the p99 is
+dominated by the epoch rebuilds, exactly what the incremental-repair work
+targets.  A scenario collects per-update samples with
+:class:`LatencyRecorder` and returns ``{"latency": recorder.summary()}``;
+the runner lifts that mapping into a top-level ``"latency"`` section of the
+BENCH record (``{"p50": ..., "p99": ..., "max": ..., "count": ...}``,
+seconds), which the compare tool reaches with the dotted metric
+``"latency.p99"`` and the smoke gate regresses against committed baselines.
+
+Percentiles use the nearest-rank definition (the value at rank
+``ceil(q/100 * N)`` of the sorted samples) -- an actual observed sample, no
+interpolation, stable for the heavy-tailed mixes these scenarios produce.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Sequence
+
+#: the percentiles every latency summary reports
+PERCENTILES = (50, 99)
+
+
+def percentile_ns(sorted_samples: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile of an ascending-sorted sample list."""
+    if not sorted_samples:
+        raise ValueError("no latency samples recorded")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+def summarize_ns(samples_ns: Sequence[int]) -> Dict[str, float]:
+    """Summary mapping (seconds) of nanosecond samples: p50/p99/max/count."""
+    ordered = sorted(samples_ns)
+    summary = {f"p{q}": percentile_ns(ordered, q) / 1e9 for q in PERCENTILES}
+    summary["max"] = ordered[-1] / 1e9
+    summary["count"] = float(len(ordered))
+    return summary
+
+
+class LatencyRecorder:
+    """Accumulates per-operation wall-clock samples (nanosecond resolution)."""
+
+    __slots__ = ("samples_ns",)
+
+    def __init__(self) -> None:
+        self.samples_ns: List[int] = []
+
+    def record_ns(self, elapsed_ns: int) -> None:
+        self.samples_ns.append(elapsed_ns)
+
+    def measure(self, fn: Callable[[], object]) -> object:
+        """Time one call of ``fn`` and record it; returns ``fn()``'s result."""
+        start = time.perf_counter_ns()
+        result = fn()
+        self.samples_ns.append(time.perf_counter_ns() - start)
+        return result
+
+    def summary(self) -> Dict[str, float]:
+        return summarize_ns(self.samples_ns)

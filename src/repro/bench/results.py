@@ -52,6 +52,10 @@ def validate_record(record: Mapping[str, object]) -> Mapping[str, object]:
         raise ValueError("record 'counters' must be a mapping")
     if not isinstance(record["wall_s"], (int, float)):
         raise ValueError("record 'wall_s' must be a number")
+    if "latency" in record and not isinstance(record["latency"], Mapping):
+        # optional section emitted by dynamic scenarios that sample
+        # per-update latency: {"p50": s, "p99": s, "max": s, "count": n}
+        raise ValueError("record 'latency' must be a mapping when present")
     return record
 
 

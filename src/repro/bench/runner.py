@@ -105,19 +105,28 @@ def run_scenario(scenario: Scenario, spec: RunSpec) -> Dict[str, object]:
 
     best_wall: Optional[float] = None
     best_counters: Dict[str, float] = {}
+    best_latency: Optional[Dict[str, float]] = None
     for _ in range(max(1, spec.repeats)):
         counters = Counters()
         start = time.perf_counter()
         values = scenario.fn(spec, counters)
         wall = time.perf_counter() - start
         merged = counters.as_dict()
+        latency: Optional[Dict[str, float]] = None
         if values:
+            values = dict(values)
+            # reserved key: a {"p50", "p99", "max", ...} mapping of per-update
+            # latencies (seconds) lands as a top-level record section rather
+            # than being flattened into the scalar counter bag
+            raw_latency = values.pop("latency", None)
+            if raw_latency is not None:
+                latency = {str(k): float(v) for k, v in raw_latency.items()}
             for key, value in values.items():
                 merged[str(key)] = float(value)
         if best_wall is None or wall < best_wall:
-            best_wall, best_counters = wall, merged
+            best_wall, best_counters, best_latency = wall, merged, latency
 
-    return {
+    record: Dict[str, object] = {
         "scenario": scenario.name,
         "params": spec.params(),
         "wall_s": best_wall,
@@ -125,6 +134,9 @@ def run_scenario(scenario: Scenario, spec: RunSpec) -> Dict[str, object]:
         "python": platform.python_version(),
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+    if best_latency is not None:
+        record["latency"] = best_latency
+    return record
 
 
 def expand_all(scens: Iterable[Scenario],
@@ -144,15 +156,17 @@ def _failure(scenario: Scenario, spec: RunSpec, error: str) -> Dict[str, str]:
 
 
 def profile_specs(work: Iterable[Tuple[Scenario, RunSpec]], out_dir,
-                  top: int = 30) -> List[str]:
+                  top: int = 30, echo_top: int = 10) -> List[str]:
     """cProfile one execution of each (scenario, spec); write text reports.
 
     One ``profile_<scenario>_<backend>.txt`` per spec lands in ``out_dir``
     (created on demand), holding the top-``top`` cumulative-time rows --
     the artefact future perf PRs cite instead of guessing at hotspots.
-    Profiled executions are separate from the timed repeats, so ``wall_s``
-    in the emitted records is never polluted by profiler overhead.
-    Returns the written paths.
+    The top-``echo_top`` rows are also echoed to stdout so a CI log shows
+    the hotspots without fishing the report file out of the artefacts
+    (``echo_top=0`` silences the echo).  Profiled executions are separate
+    from the timed repeats, so ``wall_s`` in the emitted records is never
+    polluted by profiler overhead.  Returns the written paths.
     """
     import cProfile
     import io
@@ -177,6 +191,13 @@ def profile_specs(work: Iterable[Tuple[Scenario, RunSpec]], out_dir,
             f"top {top} by cumulative time\n" + buffer.getvalue(),
             encoding="utf-8")
         paths.append(str(path))
+        if echo_top > 0:
+            echo = io.StringIO()
+            pstats.Stats(profiler, stream=echo).sort_stats(
+                "cumulative").print_stats(echo_top)
+            print(f"-- hotspots: {scenario.name} (backend={spec.backend}), "
+                  f"top {echo_top} by cumulative time --")
+            print(echo.getvalue().rstrip())
     return paths
 
 

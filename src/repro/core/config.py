@@ -103,6 +103,21 @@ class ParameterProfile:
     #: the default) or ``"reference"`` (the scalar path, kept byte-identical
     #: for the parity suite; also the fallback when NumPy is missing)
     engine: str = "array"
+    #: epoch-repair selector for the dynamic maintainers: ``"rebuild"`` (the
+    #: default -- every epoch boundary reconstructs the per-phase state from
+    #: scratch) or ``"incremental"`` (reuse a persistent
+    #: :class:`~repro.core.repair.RepairContext` so a rebuild touches only
+    #: the state the updates since the previous rebuild actually dirtied).
+    #: Both modes execute the identical algorithm and are byte-identical --
+    #: same matchings, same counters, same rng stream -- which the repair
+    #: parity suite pins, mirroring the ``engine`` seam.
+    repair: str = "rebuild"
+    #: incremental-repair fallback threshold: when more than this many
+    #: distinct edges changed since the frozen-graph views were last synced,
+    #: the :class:`~repro.core.repair.RepairContext` recompiles them
+    #: wholesale instead of patching (patching is O(m + k) per sync; past
+    #: this point the wholesale O(m log m) rebuild is cheaper and simpler)
+    repair_patch_cap: int = 2048
 
     # ------------------------------------------------------------ constructors
     @classmethod

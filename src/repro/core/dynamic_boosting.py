@@ -242,7 +242,7 @@ class WeakOracleBoostingFramework:
 
     # -- Theorem 6.2 ---------------------------------------------------------
     def run(self, graph: Graph, initial: Optional[Matching] = None,
-            warm_start: bool = False) -> Matching:
+            warm_start: bool = False, context=None) -> Matching:
         """Compute a (1+eps)-approximate maximum matching of ``graph``.
 
         ``warm_start`` declares that ``initial`` is already (1+O(eps))-close
@@ -253,12 +253,25 @@ class WeakOracleBoostingFramework:
         to the finest scales (whose structure-size limit and phase budget
         dominate the coarser ones); quality is unchanged, the per-rebuild
         work drops by the skipped scales' phase schedules.
+
+        ``context`` (a :class:`~repro.core.repair.RepairContext`) enables
+        incremental repair: ``initial`` must be the context's mirrored
+        matching and is augmented *in place* (no copy), and every phase
+        borrows the context's persistent state.  Byte-identical to a
+        context-free run -- see ``repro.core.repair``.
         """
         if self.weak_oracle.graph is not graph:
             # Definition 6.1 binds the oracle to a fixed graph; verify the
             # caller handed the matching one (same object identity).
             raise ValueError("the weak oracle must be bound to the input graph")
-        matching = initial.copy() if initial is not None else self.initial_matching(graph)
+        if context is not None:
+            if initial is None or initial is not context.matching:
+                raise ValueError("incremental repair must run on the "
+                                 "RepairContext's mirrored matching")
+            matching = initial
+        else:
+            matching = (initial.copy() if initial is not None
+                        else self.initial_matching(graph))
         driver = SamplingOracleDriver(self.weak_oracle, self.profile,
                                       rng=self.rng,
                                       sampling_rounds=self.sampling_rounds)
@@ -272,7 +285,8 @@ class WeakOracleBoostingFramework:
                 self.counters.add("phases")
                 records = run_phase(graph, matching, self.profile, h, driver,
                                     counters=self.counters,
-                                    check_invariants=self.check_invariants)
+                                    check_invariants=self.check_invariants,
+                                    context=context)
                 gained = apply_augmentations(matching, records)
                 self.counters.add("matching_gain", gained)
                 if self.profile.early_exit:

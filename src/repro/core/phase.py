@@ -264,46 +264,57 @@ class DirectDriver:
 def run_phase(graph: Graph, matching: Matching, profile: ParameterProfile,
               h: float, driver: PhaseDriver,
               counters: Optional[Counters] = None,
-              check_invariants: bool = False) -> List[AugmentationRecord]:
+              check_invariants: bool = False,
+              context=None) -> List[AugmentationRecord]:
     """Execute one phase (Algorithm 2) and return the recorded augmentations.
 
     The matching is *not* modified; apply the returned records with
     :func:`repro.core.operations.apply_augmentations` (Algorithm 1, line 6).
+
+    ``context`` (a :class:`~repro.core.repair.RepairContext`) switches the
+    phase to incremental repair: the per-vertex state and frozen views are
+    borrowed from the context instead of built from scratch, and returned to
+    the clean baseline on the way out (even on error).  The executed
+    algorithm is byte-identical either way.
     """
     counters = counters if counters is not None else Counters()
     state = PhaseState(graph, matching, profile.ell_max, counters,
-                       engine=profile.engine)
-    state.init_structures()
-    if not state.structures:
-        # no free vertices -> no structures -> no operation can ever fire;
-        # skip the pass-bundle schedule outright (warm-started rebuilds hit
-        # this constantly)
-        return state.records
-    limit = profile.structure_limit(h)
-    tau_max = profile.pass_bundles(h)
-
-    for _tau in range(tau_max):
-        counters.add("pass_bundles")
-        for structure in state.live_structures():
-            structure.reset_marks(limit)
-        before = counters.snapshot()
-
-        driver.extend_active_path(state)
-        driver.contract_and_augment(state)
-        backtrack_pass(state)
-
-        if check_invariants:
-            state.check_invariants()
-
+                       engine=profile.engine, context=context)
+    try:
+        state.init_structures()
         if not state.structures:
-            break  # every structure augmented away; later bundles are no-ops
+            # no free vertices -> no structures -> no operation can ever
+            # fire; skip the pass-bundle schedule outright (warm-started
+            # rebuilds hit this constantly)
+            return state.records
+        limit = profile.structure_limit(h)
+        tau_max = profile.pass_bundles(h)
 
-        if profile.early_exit:
-            diff = counters.diff(before)
-            progress = sum(diff.get(key, 0) for key in
-                           ("augmentations", "contractions", "overtakes"))
-            any_active = any(s.active for s in state.live_structures())
-            if progress == 0 and not any_active:
-                break
+        for _tau in range(tau_max):
+            counters.add("pass_bundles")
+            for structure in state.live_structures():
+                structure.reset_marks(limit)
+            before = counters.snapshot()
 
-    return state.records
+            driver.extend_active_path(state)
+            driver.contract_and_augment(state)
+            backtrack_pass(state)
+
+            if check_invariants:
+                state.check_invariants()
+
+            if not state.structures:
+                break  # every structure augmented away; later bundles no-op
+
+            if profile.early_exit:
+                diff = counters.diff(before)
+                progress = sum(diff.get(key, 0) for key in
+                               ("augmentations", "contractions", "overtakes"))
+                any_active = any(s.active for s in state.live_structures())
+                if progress == 0 and not any_active:
+                    break
+
+        return state.records
+    finally:
+        if context is not None:
+            context.detach()

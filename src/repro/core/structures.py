@@ -253,7 +253,7 @@ class PhaseState:
 
     def __init__(self, graph: Graph, matching: Matching, ell_max: int,
                  counters: Optional[Counters] = None,
-                 engine: str = "array") -> None:
+                 engine: str = "array", context=None) -> None:
         if engine not in ("array", "reference"):
             raise ValueError(f"unknown phase engine {engine!r}")
         self.graph = graph
@@ -264,6 +264,17 @@ class PhaseState:
         # the vectorized engine needs numpy; degrade to the scalar reference
         self.engine = engine if _np is not None else "reference"
         self._use_arrays = _np is not None
+        self.context = context
+        self.structures: Dict[int, Structure] = {}
+        self.records: List[AugmentationRecord] = []
+
+        if context is not None:
+            # incremental repair: borrow the persistent per-vertex state and
+            # the patchable frozen views instead of allocating O(n) afresh;
+            # the mutation funnel below journals every touched vertex so the
+            # context can reset in O(touched) when the phase detaches
+            context.attach(self)
+            return
 
         n = graph.n
         self.node_of: List[Optional[StructNode]] = [None] * n
@@ -272,8 +283,6 @@ class PhaseState:
         default = self.label_default
         # per-vertex label of the (unique) incident matched edge; 0 if free
         self.vlabel: List[int] = [0 if m is None else default for m in mate]
-        self.structures: Dict[int, Structure] = {}
-        self.records: List[AugmentationRecord] = []
 
         if self._use_arrays:
             self.mate_arr = _np.fromiter(
@@ -304,7 +313,9 @@ class PhaseState:
     # ----------------------------------------------------------- construction
     def init_structures(self) -> None:
         """Create the single-vertex structure of every free vertex (Alg. 2, l.3)."""
-        for alpha in self.matching.free_vertices():
+        free = (self.context.free_vertices() if self.context is not None
+                else self.matching.free_vertices())
+        for alpha in free:
             structure = Structure(alpha)
             self.structures[alpha] = structure
             self.register_node(structure.root)
@@ -320,9 +331,16 @@ class PhaseState:
             self.nid_arr[verts] = node.id
             self.outer_arr[verts] = node.outer
             self.sid_arr[verts] = node.structure.alpha
+        if self.context is not None:
+            self.context._touched.extend(node.vertices)
 
     def move_to_structure(self, vertices: Sequence[int], alpha: int) -> None:
-        """Re-home vertices' structure id after a cross-structure Overtake."""
+        """Re-home vertices' structure id after a cross-structure Overtake.
+
+        No dirty journaling needed: a vertex only ever moves between
+        structures after :meth:`register_node` put it in one, so it is
+        already journalled.
+        """
         if self._use_arrays and len(vertices):
             self.sid_arr[list(vertices)] = alpha
 
@@ -339,10 +357,14 @@ class PhaseState:
             self.sid_arr[verts] = -1
             self.nid_arr[verts] = -1
             self.outer_arr[verts] = False
+        if self.context is not None:
+            self.context._touched.extend(verts)
 
     # ------------------------------------------------------ frozen-graph views
     def edge_pairs(self) -> List[Edge]:
         """Canonical ``(u, v)`` edge tuples, key-sorted (both engines' order)."""
+        if self.context is not None:
+            return self.context.edge_pairs()
         if self._edge_pairs is None:
             if self._use_arrays:
                 eu, ev = self.edge_arrays()
@@ -353,6 +375,8 @@ class PhaseState:
 
     def edge_arrays(self):
         """Canonical endpoint arrays ``(eu, ev)`` with ``eu < ev``, key-sorted."""
+        if self.context is not None:
+            return self.context.edge_arrays()
         if self._eu is None:
             backend = self.graph.backend
             if hasattr(backend, "edge_arrays"):
@@ -367,6 +391,8 @@ class PhaseState:
 
     def adjacency(self):
         """CSR ``(indptr, indices)`` of the frozen phase graph (sorted order)."""
+        if self.context is not None:
+            return self.context.adjacency()
         if self._indptr is None:
             backend = self.graph.backend
             if hasattr(backend, "csr_arrays"):
@@ -378,6 +404,8 @@ class PhaseState:
 
     def sorted_neighbors(self, v: int) -> List[int]:
         """Neighbours of ``v`` in ascending order (memoised for the phase)."""
+        if self.context is not None:
+            return self.context.sorted_neighbors(v)
         cache = self._nbrs
         if cache is None:
             cache = self._nbrs = {}
@@ -444,6 +472,9 @@ class PhaseState:
         if self._use_arrays:
             self.vlabel_arr[u] = value
             self.vlabel_arr[v] = value
+        if self.context is not None:
+            self.context._label_touched.append(u)
+            self.context._label_touched.append(v)
 
     def label_of_vertex(self, v: int) -> int:
         """``l(v)`` of Section 5.1: 0 for free vertices, else its matched-edge label."""

@@ -49,7 +49,13 @@ from repro.instrumentation.counters import Counters
 from repro.core.config import ParameterProfile
 from repro.core.oracles import WeakOracle
 from repro.core.dynamic_boosting import WeakOracleBoostingFramework
+from repro.core.repair import RepairContext
 from repro.dynamic.weak_oracles import GreedyInducedWeakOracle
+
+try:  # incremental repair needs numpy; fall back to rebuild mode without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None  # type: ignore[assignment]
 
 OracleFactory = Callable[[Graph], WeakOracle]
 
@@ -126,7 +132,14 @@ class OfflineDynamicMatching:
         boundaries = self.plan_epochs(updates)
         dynamic = DynamicGraph(self.n, backend=self.backend,
                                log_updates=False)
-        matching = Matching(self.n)
+        if self.profile.repair not in ("rebuild", "incremental"):
+            raise ValueError(f"unknown repair mode {self.profile.repair!r}")
+        context: Optional[RepairContext] = None
+        if self.profile.repair == "incremental" and _np is not None:
+            context = RepairContext(dynamic.graph, self.profile)
+            matching: Matching = context.bind_matching()
+        else:
+            matching = Matching(self.n)
         sizes: List[int] = []
         # one oracle/framework pair shared by every epoch of this run
         # (Lemma 7.13/7.14 flavour; see the module docstring)
@@ -141,12 +154,16 @@ class OfflineDynamicMatching:
             # one shared rebuild at the epoch boundary
             if dynamic.graph.m > 0:
                 matching = self._rebuild(framework, dynamic.graph, matching,
-                                         warm_start=rebuilt_before)
+                                         warm_start=rebuilt_before,
+                                         context=context)
                 rebuilt_before = True
             self.counters.add("offline_epochs")
 
             for upd in updates[start:end]:
                 changed = dynamic.apply(upd)
+                if changed and context is not None:
+                    context.note_update(upd.u, upd.v,
+                                        upd.kind == Update.INSERT)
                 if changed and hasattr(oracle, "notify_update"):
                     # snapshotting oracles (OMv) must see every edge change,
                     # exactly as the online maintainer keeps them informed
@@ -170,9 +187,15 @@ class OfflineDynamicMatching:
         return sizes
 
     def _rebuild(self, framework: WeakOracleBoostingFramework, graph: Graph,
-                 previous: Matching, warm_start: bool) -> Matching:
+                 previous: Matching, warm_start: bool,
+                 context: Optional[RepairContext] = None) -> Matching:
         self.counters.add("offline_rebuilds")
         self.counters.add("update_work", graph.n)
+        if context is not None:
+            # restricted_to is the identity (deleted matched edges left the
+            # matching at update time); augment in place on the mirror
+            return framework.run(graph, initial=previous,
+                                 warm_start=warm_start, context=context)
         warm = previous.restricted_to(graph)
         return framework.run(graph, initial=warm, warm_start=warm_start)
 

@@ -325,6 +325,82 @@ class TestBackendSelection:
 
 
 # ---------------------------------------------------------------------------
+# CSR memoisation invalidation
+# ---------------------------------------------------------------------------
+
+@st.composite
+def mutation_scripts(draw, max_n=10, max_ops=25):
+    """A script mixing every mutation API: single, bulk, and DynamicGraph."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    pair = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+        lambda e: e[0] != e[1])
+    ops = draw(st.lists(st.tuples(
+        st.sampled_from(("add_edge", "remove_edge", "add_edges",
+                         "remove_edges", "apply_all")),
+        st.lists(pair, min_size=1, max_size=4)), max_size=max_ops))
+    return n, ops
+
+
+class TestCSRMemoInvalidation:
+    """Every mutation API must invalidate the compiled-view memos.
+
+    ``neighbor_list`` and ``csr_arrays`` cache the compiled CSR view between
+    mutations; a mutation path that forgets to mark the backend dirty would
+    serve stale neighbours.  The property: after *any* interleaving of the
+    mutation APIs, reads through the memoised paths equal a from-scratch
+    backend holding the same edge set -- with the memos deliberately kept hot
+    (read after every single mutation).
+    """
+
+    @staticmethod
+    def _apply(dyn, backend, op, edges):
+        if op == "add_edge":
+            backend.add_edge(*edges[0])
+        elif op == "remove_edge":
+            backend.remove_edge(*edges[0])
+        elif op == "add_edges":
+            backend.add_edges(edges)
+        elif op == "remove_edges":
+            backend.remove_edges(edges)
+        else:  # apply_all through the DynamicGraph layer (bulk-run grouping)
+            updates = [Update.insert(u, v) if not dyn.graph.has_edge(u, v)
+                       else Update.delete(u, v) for u, v in edges]
+            dyn.apply_all(updates)
+
+    @given(script=mutation_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_every_mutation_api_invalidates_memos(self, script):
+        n, ops = script
+        dyn = DynamicGraph(n, backend="csr", log_updates=False)
+        backend = dyn.graph.backend
+        for op, edges in ops:
+            # warm the memos so the mutation has something stale to kill
+            backend.neighbor_list(edges[0][0])
+            backend.csr_arrays()
+            self._apply(dyn, backend, op, edges)
+            fresh = make_backend("csr", n)
+            fresh.add_edges(backend.edge_list())
+            for v in range(n):
+                assert backend.neighbor_list(v) == fresh.neighbor_list(v), op
+            got_ptr, got_idx = backend.csr_arrays()
+            want_ptr, want_idx = fresh.csr_arrays()
+            assert got_ptr.tolist() == want_ptr.tolist(), op
+            assert got_idx.tolist() == want_idx.tolist(), op
+
+    def test_noop_mutations_keep_compiled_view(self):
+        """Failed mutations (dup add, missing remove) need no recompile."""
+        backend = make_backend("csr", 6)
+        backend.add_edges([(0, 1), (2, 3)])
+        ptr, idx = backend.csr_arrays()
+        assert backend.add_edge(0, 1) is False
+        assert backend.remove_edge(4, 5) is False
+        assert backend.add_edges([(1, 0)]) == 0
+        assert backend.remove_edges([(4, 5)]) == 0
+        ptr2, idx2 = backend.csr_arrays()
+        assert ptr2 is ptr and idx2 is idx  # cache untouched by no-ops
+
+
+# ---------------------------------------------------------------------------
 # benchmark smoke (tier-1 runs the harness in seconds)
 # ---------------------------------------------------------------------------
 

@@ -39,7 +39,8 @@ ALL_SCENARIOS = (
     "ablation_schedule", "backends", "fig1_structures", "fig2_overtake",
     "fig3_hprime_decay", "fig4_sampling", "lemma53_initial_matching",
     "quality_vs_eps", "scaling_n", "table1_congest", "table1_mpc",
-    "table2_dynamic", "table2_offline", "table2_omv", "table2_realgraph",
+    "table2_dynamic", "table2_latency", "table2_offline", "table2_omv",
+    "table2_realgraph",
 )
 
 
@@ -112,6 +113,89 @@ class TestRunner:
     def test_resolved_eps_default(self):
         assert RunSpec(scenario="x", suite="y").resolved_eps() == 0.25
         assert RunSpec(scenario="x", suite="y", eps=0.5).resolved_eps() == 0.5
+
+
+class TestLatency:
+    """Per-update latency capture: recorder, record lifting, compare path."""
+
+    def test_summarize_nearest_rank(self):
+        from repro.bench import summarize_ns
+
+        # nearest-rank: p50 of 1..10 is the 5th sample, p99 the 10th
+        samples = [i * 1_000_000 for i in range(10, 0, -1)]
+        summary = summarize_ns(samples)
+        assert summary["p50"] == pytest.approx(0.005)
+        assert summary["p99"] == pytest.approx(0.010)
+        assert summary["max"] == pytest.approx(0.010)
+        assert summary["count"] == 10.0
+
+    def test_summarize_rejects_empty(self):
+        from repro.bench import summarize_ns
+
+        with pytest.raises(ValueError, match="no latency samples"):
+            summarize_ns([])
+
+    def test_recorder_measures_calls(self):
+        from repro.bench import LatencyRecorder
+
+        recorder = LatencyRecorder()
+        for _ in range(4):
+            recorder.measure(lambda: sum(range(100)))
+        summary = recorder.summary()
+        assert summary["count"] == 4.0
+        assert 0 < summary["p50"] <= summary["p99"] <= summary["max"]
+
+    def test_run_scenario_lifts_latency_section(self):
+        @register("_lat", suite="_toysuite", description="test-only")
+        def _lat(spec, counters):
+            counters.add("work", 1)
+            return {"latency": {"p50": 0.001, "p99": 0.002, "max": 0.003,
+                                "count": 5},
+                    "speedup": 7.0}
+
+        try:
+            scenario = get_scenario("_lat")
+            spec = RunSpec(scenario="_lat", suite="_toysuite", smoke=True)
+            record = validate_record(run_scenario(scenario, spec))
+        finally:
+            unregister("_lat")
+        # the reserved "latency" mapping becomes a top-level record section;
+        # the scalar extras still merge into the counter bag
+        assert record["latency"] == {"p50": 0.001, "p99": 0.002,
+                                     "max": 0.003, "count": 5.0}
+        assert record["counters"] == {"work": 1.0, "speedup": 7.0}
+        assert "latency" not in record["counters"]
+
+    def test_validate_rejects_non_mapping_latency(self):
+        record = {"scenario": "s", "params": {}, "wall_s": 0.1,
+                  "counters": {}, "python": "3", "timestamp": "t",
+                  "latency": 0.002}
+        with pytest.raises(ValueError, match="latency"):
+            validate_record(record)
+
+    def _record_with_latency(self, p99):
+        return [{"scenario": "s", "params": {"backend": "adjset"},
+                 "wall_s": 1.0, "counters": {"p99": 123.0},
+                 "latency": {"p50": p99 / 2, "p99": p99},
+                 "python": "3", "timestamp": "t"}]
+
+    def test_compare_dotted_latency_metric(self):
+        from repro.bench.compare import metric_value
+
+        old = self._record_with_latency(0.001)
+        new = self._record_with_latency(0.004)
+        # dotted path reads the nested section, not the "p99" counter
+        assert metric_value(old[0], "latency.p99") == pytest.approx(0.001)
+        rows = compare_records(old, new, fail_over=3.0, metric="latency.p99")
+        assert regressions(rows) and rows[0]["ratio"] == pytest.approx(4.0)
+
+    def test_dotted_metric_missing_section_falls_back_to_counters(self):
+        from repro.bench.compare import metric_value
+
+        record = {"scenario": "s", "params": {}, "wall_s": 1.0,
+                  "counters": {"latency.p99": 9.0}, "python": "3",
+                  "timestamp": "t"}
+        assert metric_value(record, "latency.p99") == pytest.approx(9.0)
 
 
 class TestResults:
@@ -266,7 +350,13 @@ class TestDiscovery:
         assert reports == ["profile__toy_adjset.txt", "profile__toy_csr.txt"]
         text = (tmp_path / "results" / "profile__toy_adjset.txt").read_text()
         assert "cumulative" in text  # pstats output, sorted by cumtime
-        capsys.readouterr()
+        # the top hotspots are also echoed to stdout so CI logs show them
+        # without fishing the report files out of the artefacts
+        out = capsys.readouterr().out
+        assert "-- hotspots: _toy (backend=adjset), top 10 by cumulative " \
+               "time --" in out
+        assert "-- hotspots: _toy (backend=csr)" in out
+        assert "cumulative" in out
 
     def test_backend_restricted_run_gets_suffixed_label(
             self, toy_scenario, tmp_path, monkeypatch, capsys):
@@ -321,6 +411,18 @@ def test_smoke_gate_all_scenarios(tmp_path):
     assert by_backend["adjset"] == by_backend["csr"]
     assert by_backend["adjset"]["trace_updates"] == 116.0
 
+    # the latency scenario must emit its per-update latency section on both
+    # backends, with a sane tail ordering (acceptance criterion)
+    latency_records = [record for record in records
+                       if record["scenario"] == "table2_latency"]
+    assert {r["params"]["backend"] for r in latency_records} == \
+        {"adjset", "csr"}
+    for record in latency_records:
+        latency = record["latency"]
+        assert {"p50", "p99", "max"} <= set(latency)
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+        assert record["counters"]["p99_speedup_vs_rebuild"] >= 5.0
+
     # ---- perf gate: wall-time regressions vs the committed baseline fail
     # loudly.  The threshold is generous (hosts differ, smoke runs are
     # seconds-scale and jobs=2 adds contention noise) -- it exists to catch
@@ -343,3 +445,22 @@ def test_smoke_gate_all_scenarios(tmp_path):
             + ", ".join(f"{r['scenario']}[{r['backend']}] "
                         f"{r['old']:.3f}s -> {r['new']:.3f}s "
                         f"({r['ratio']:.2f}x)" for r in bad))
+
+        # ---- latency gate: the per-update latency tail (latency.p99,
+        # currently only table2_latency emits it) regresses against the
+        # same committed baseline.  Same ratio threshold; the absolute
+        # floor is microseconds-scale because the metric is -- a p99 that
+        # triples from 20us to 60us is scheduler noise, one that jumps
+        # past 2ms means an O(n) cost leaked back into the update path.
+        latency_rows = compare_records(baseline, records,
+                                       fail_over=fail_over,
+                                       metric="latency.p99")
+        min_latency_delta_s = 0.002
+        bad_latency = [r for r in regressions(latency_rows)
+                       if r["new"] - r["old"] >= min_latency_delta_s]
+        assert not bad_latency, (
+            f"latency.p99 regression(s) vs committed BENCH_all.json "
+            f"(fail-over {fail_over:g}x): "
+            + ", ".join(f"{r['scenario']}[{r['backend']}] "
+                        f"{r['old'] * 1e3:.3f}ms -> {r['new'] * 1e3:.3f}ms "
+                        f"({r['ratio']:.2f}x)" for r in bad_latency))

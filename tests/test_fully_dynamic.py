@@ -7,6 +7,7 @@ from repro.workloads import insertion_only, planted_matching_churn, sliding_wind
 from repro.matching.blossom import maximum_matching_size
 from repro.matching.verify import certify_approximation
 from repro.instrumentation.counters import Counters
+from repro.core.config import ParameterProfile
 from repro.dynamic.fully_dynamic import FullyDynamicMatching
 from repro.dynamic.weak_oracles import ExactInducedWeakOracle, OMvWeakOracle
 
@@ -63,6 +64,62 @@ class TestMaintenance:
         for _ in range(10):
             alg.update(Update.empty())
         assert alg.counters.get("dyn_rebuilds") == rebuilds_before
+
+
+class TestWarmStartEdgeCases:
+    """Regression tests for warm-start rebuilds in degenerate regimes.
+
+    A rebuild with ``_size_at_rebuild > 0`` skips the coarse scales
+    (``warm_start``); these pin that the skipped-scales path survives the
+    graph emptying out completely and delete-only streams that cross a
+    rebuild (epoch) boundary -- in both repair modes, with identical results.
+    """
+
+    def _profiles(self):
+        import dataclasses
+
+        rebuild = ParameterProfile.practical(EPS)
+        return (rebuild, dataclasses.replace(rebuild, repair="incremental"))
+
+    def test_rebuild_after_graph_empties(self):
+        for profile in self._profiles():
+            alg = FullyDynamicMatching(12, EPS, profile=profile, seed=7)
+            edges = [(i, i + 6) for i in range(6)]
+            for u, v in edges:
+                alg.insert(u, v)
+            assert alg.counters.get("dyn_rebuilds") > 0  # warm start armed
+            for u, v in edges:
+                alg.delete(u, v)
+            assert alg.graph.m == 0
+            # the deletes crossed rebuild boundaries, so warm-start rebuilds
+            # already ran against a shrinking -- eventually empty -- graph
+            alg.rebuild()  # explicit warm rebuild on the fully empty graph
+            assert alg.current_matching().size == 0
+            alg.current_matching().validate(alg.graph)
+            alg.insert(0, 1)  # the maintainer must still be serviceable
+            assert alg.current_matching().size == 1
+
+    def test_delete_only_stream_crosses_rebuild_boundary(self):
+        results = []
+        for profile in self._profiles():
+            counters = Counters()
+            alg = FullyDynamicMatching(20, EPS, profile=profile,
+                                       counters=counters, seed=8,
+                                       rebuild_slack=1e9)
+            edges = [(i, i + 10) for i in range(10)]
+            for u, v in edges:
+                alg.insert(u, v)
+            alg.rebuild_slack = 0.125
+            alg.rebuild()
+            rebuilds_before = counters.get("dyn_rebuilds")
+            for u, v in edges:  # delete-only tail, no compensating inserts
+                alg.delete(u, v)
+                alg.current_matching().validate(alg.graph)
+            assert counters.get("dyn_rebuilds") > rebuilds_before
+            assert alg.current_matching().size == 0
+            results.append([alg.current_matching().mate(v)
+                            for v in range(20)] + [counters.as_dict()])
+        assert results[0] == results[1]  # repair-mode parity on the edge case
 
 
 class TestAccounting:

@@ -48,6 +48,39 @@ class TestOffline:
         alg = OfflineDynamicMatching(10, EPS, seed=5)
         assert alg.run([]) == []
 
+    def test_delete_only_tail_crosses_epoch_boundary(self):
+        """Warm-start rebuilds must survive a delete-only epoch crossing.
+
+        The tail deletes every edge, so epochs past the first rebuild from a
+        shrinking graph down to an empty one -- the warm-start path (finest
+        scales only) with nothing left to augment.  Both repair modes must
+        agree on every per-update size.
+        """
+        import dataclasses
+
+        from repro.core.config import ParameterProfile
+        from repro.graph.dynamic_graph import Update
+
+        edges = [(i, i + 8) for i in range(8)]
+        updates = ([Update.insert(u, v) for u, v in edges]
+                   + [Update.delete(u, v) for u, v in edges])
+        rebuild = ParameterProfile.practical(EPS)
+        results = []
+        for profile in (rebuild,
+                        dataclasses.replace(rebuild, repair="incremental")):
+            counters = Counters()
+            alg = OfflineDynamicMatching(16, EPS, profile=profile,
+                                         counters=counters, seed=6)
+            boundaries = alg.plan_epochs(updates)
+            # the delete-only tail must actually cross an epoch boundary
+            assert any(len(updates) // 2 < b < len(updates)
+                       for b in boundaries), boundaries
+            sizes = alg.run(updates)
+            assert sizes[-1] == 0
+            assert counters.get("offline_epochs") >= 2
+            results.append((sizes, counters.as_dict()))
+        assert results[0] == results[1]
+
     def test_snapshotting_oracle_sees_updates(self):
         """The shared per-run oracle must be kept informed of edge changes.
 

@@ -187,6 +187,15 @@ class TestShimStreamEquivalence:
         assert any(issubclass(w.category, DeprecationWarning)
                    for w in caught)
 
+    def test_deprecation_warning_on_fresh_import(self):
+        # a genuinely fresh import (not a reload) must warn too: pop the
+        # cached module so the import machinery re-executes the shim
+        import sys
+
+        sys.modules.pop("repro.graph.workloads", None)
+        with pytest.warns(DeprecationWarning, match="repro.workloads"):
+            import repro.graph.workloads  # noqa: F401
+
     def test_eager_results_match_streams(self):
         from repro import workloads as streams
 

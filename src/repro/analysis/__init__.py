@@ -1,0 +1,36 @@
+"""Static determinism & contract linter plus the runtime sanitizer.
+
+``python -m repro.analysis --check src/repro`` is the CI gate; see
+ARCHITECTURE.md ("Static analysis & determinism sanitizer") for the rule
+catalogue and the pragma grammar.
+"""
+
+from repro.analysis.baseline import (  # noqa: F401
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+    from_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import (  # noqa: F401
+    SourceFile,
+    analyze_paths,
+    analyze_source,
+    find_repo_root,
+    load_source_file,
+)
+from repro.analysis.findings import (  # noqa: F401
+    Finding,
+    Report,
+    findings_from_report,
+    render_json,
+    render_text,
+    validate_report,
+)
+from repro.analysis.registry import Rule, all_rules, get_rule  # noqa: F401
+from repro.analysis.sanitizer import (  # noqa: F401
+    SanitizerResult,
+    canonical_bytes,
+    normalize_record,
+    run_sanitizer,
+)

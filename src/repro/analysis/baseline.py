@@ -1,0 +1,96 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline file (``repro-analysis-baseline.json`` at the repo root) lists
+fingerprints of findings that predate a rule and are tolerated until paid
+down.  ``--check`` fails only on findings *not* in the baseline; removing an
+entry (or fixing the code) is how debt is retired, ``--update-baseline``
+regenerates the file from the current tree.  This repository's policy is an
+**empty** baseline -- the file exists so the mechanism is exercised and so a
+future rule can be landed before its last finding is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: default location, relative to the repo root
+DEFAULT_BASELINE_NAME = "repro-analysis-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered fingerprints (plus context for humans)."""
+
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def fingerprints(self) -> Set[str]:
+        return set(self.entries)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def add(self, finding: Finding) -> None:
+        self.entries[finding.fingerprint] = {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "context": finding.context,
+        }
+
+    def remove(self, fingerprint: str) -> bool:
+        return self.entries.pop(fingerprint, None) is not None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"version": BASELINE_VERSION,
+                "findings": [self.entries[k] for k in sorted(self.entries)]}
+
+
+def from_findings(findings: Iterable[Finding]) -> Baseline:
+    baseline = Baseline()
+    for finding in findings:
+        baseline.add(finding)
+    return baseline
+
+
+def load_baseline(path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a baseline file "
+                         "(expected {'version': 1, 'findings': [...]})")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: unsupported baseline version "
+                         f"{payload.get('version')!r}")
+    entries: Dict[str, Dict[str, object]] = {}
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"{path}: baseline entries need a 'fingerprint'")
+        entries[str(entry["fingerprint"])] = entry
+    return Baseline(entries=entries)
+
+
+def save_baseline(baseline: Baseline, path) -> Path:
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def stale_fingerprints(baseline: Baseline,
+                       findings: Iterable[Finding]) -> List[str]:
+    """Baseline entries no longer matched by any current finding."""
+    current = {f.fingerprint for f in findings}
+    return sorted(baseline.fingerprints - current)

@@ -1,0 +1,145 @@
+"""``python -m repro.analysis``: lint and sanitize subcommands.
+
+Exit codes (``lint --check`` and ``sanitize``):
+
+* ``0`` -- clean (no new findings / byte-identical records),
+* ``1`` -- violations found (new findings, stale baseline entries, or a
+  determinism mismatch),
+* ``2`` -- usage or infrastructure error (bad paths, broken baseline file,
+  bench subprocess crash).
+
+Without ``--check``, ``lint`` is report-only and always exits 0 so it can
+be run exploratively while triaging.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.engine import analyze_paths, find_repo_root
+from repro.analysis.findings import render_json, render_text
+from repro.analysis.registry import all_rules
+from repro.analysis.sanitizer import DEFAULT_SCENARIO, run_sanitizer
+
+PROG = "python -m repro.analysis"
+
+
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"{PROG} lint",
+        description="determinism & contract linter over the repro sources")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to scan "
+                             "(default: src/repro at the repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on new findings or stale baseline "
+                             "entries (the CI gate)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: "
+                             f"{baseline_mod.DEFAULT_BASELINE_NAME} at the "
+                             "repo root)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current tree's "
+                             "unsuppressed findings, then exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also show suppressed/baselined findings "
+                             "(text format)")
+    return parser
+
+
+def _build_sanitize_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"{PROG} sanitize",
+        description="run a seeded smoke scenario under varied "
+                    "PYTHONHASHSEED and --jobs; fail on any record diff")
+    parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--alt-hashseed", default="1",
+                        help="PYTHONHASHSEED of the hash-seed variant run")
+    parser.add_argument("--alt-jobs", type=int, default=2,
+                        help="--jobs of the worker-count variant run")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-subprocess timeout in seconds")
+    return parser
+
+
+def _list_rules() -> int:
+    for entry in all_rules():
+        print(f"{entry.id:32s} [{entry.family}] {entry.summary}")
+    return 0
+
+
+def run_lint(argv: Sequence[str]) -> int:
+    args = _build_lint_parser().parse_args(list(argv))
+    if args.list_rules:
+        return _list_rules()
+    root = find_repo_root()
+    paths: List[Path] = ([Path(p) for p in args.paths] if args.paths
+                         else [root / "src" / "repro"])
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / baseline_mod.DEFAULT_BASELINE_NAME)
+    try:
+        baseline = baseline_mod.load_baseline(baseline_path)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        report = analyze_paths(paths, baseline=None, root=root)
+        fresh = baseline_mod.from_findings(
+            f for f in report.findings if not f.suppressed)
+        baseline_mod.save_baseline(fresh, baseline_path)
+        print(f"baseline updated: {len(fresh.entries)} entr"
+              f"{'y' if len(fresh.entries) == 1 else 'ies'} "
+              f"-> {baseline_path}")
+        return 0
+
+    report = analyze_paths(paths, baseline=baseline, root=root)
+    stale = baseline_mod.stale_fingerprints(baseline, report.findings)
+    if args.format == "json":
+        sys.stdout.write(render_json(report))
+    else:
+        print(render_text(report, verbose_suppressed=args.verbose))
+        for fingerprint in stale:
+            entry = baseline.entries[fingerprint]
+            print(f"stale baseline entry {fingerprint} "
+                  f"({entry.get('rule')} @ {entry.get('path')}): the "
+                  "finding no longer exists -- remove it from "
+                  f"{baseline_path.name}")
+    if args.check and (report.new_findings or stale):
+        return 1
+    return 0
+
+
+def run_sanitize(argv: Sequence[str]) -> int:
+    args = _build_sanitize_parser().parse_args(list(argv))
+    try:
+        result = run_sanitizer(args.scenario, seed=args.seed,
+                               alt_hashseed=args.alt_hashseed,
+                               alt_jobs=args.alt_jobs,
+                               timeout=args.timeout)
+    except (RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sanitize":
+        return run_sanitize(argv[1:])
+    if argv and argv[0] == "lint":
+        argv = argv[1:]
+    return run_lint(argv)

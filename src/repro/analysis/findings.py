@@ -1,0 +1,165 @@
+"""Finding model, fingerprints and the text/JSON reporters.
+
+A finding is one rule violation at one source location.  Its *fingerprint*
+deliberately excludes the line number: baselines must survive unrelated edits
+above a grandfathered finding, so the identity is ``(rule, path, normalized
+source line, occurrence index among identical lines)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Sequence
+
+#: bump when the report JSON layout changes incompatibly
+REPORT_VERSION = 1
+
+FINDING_KEYS = ("rule", "path", "line", "col", "message", "context",
+                "fingerprint", "suppressed", "baselined")
+
+
+def normalize_context(line: str) -> str:
+    """Whitespace-collapsed source line (the fingerprint's stable core)."""
+    return " ".join(line.split())
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str          # rule id, e.g. "set-iteration"
+    path: str          # posix path as reported (repo-relative when possible)
+    line: int          # 1-based
+    col: int           # 0-based, as ast reports
+    message: str
+    context: str = ""  # stripped source line
+    occurrence: int = 0  # index among identical (rule, path, context) triples
+    suppressed: bool = False  # a valid pragma covers it
+    baselined: bool = False   # grandfathered by the committed baseline
+
+    @property
+    def fingerprint(self) -> str:
+        payload = "\x1f".join((self.rule, self.path,
+                               normalize_context(self.context),
+                               str(self.occurrence)))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def is_new(self) -> bool:
+        """Counts against ``--check`` (neither suppressed nor baselined)."""
+        return not (self.suppressed or self.baselined)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "context": self.context, "fingerprint": self.fingerprint,
+                "suppressed": self.suppressed, "baselined": self.baselined}
+
+
+def assign_occurrences(findings: Sequence[Finding]) -> List[Finding]:
+    """Number repeated (rule, path, context) triples so fingerprints stay
+    unique when one line (or identical lines) violates a rule repeatedly."""
+    seen: Dict[tuple, int] = {}
+    out: List[Finding] = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (f.rule, f.path, normalize_context(f.context))
+        idx = seen.get(key, 0)
+        seen[key] = idx + 1
+        out.append(replace(f, occurrence=idx))
+    return out
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.is_new]
+
+    @property
+    def suppressed_count(self) -> int:
+        return sum(1 for f in self.findings if f.suppressed)
+
+    @property
+    def baselined_count(self) -> int:
+        return sum(1 for f in self.findings if f.baselined)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": REPORT_VERSION,
+            "files_scanned": self.files_scanned,
+            "findings": [f.as_dict() for f in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "new": len(self.new_findings),
+                "suppressed": self.suppressed_count,
+                "baselined": self.baselined_count,
+            },
+        }
+
+
+def render_text(report: Report, verbose_suppressed: bool = False) -> str:
+    """Human-readable report: one location line + the offending source."""
+    out: List[str] = []
+    for f in report.findings:
+        if not f.is_new and not verbose_suppressed:
+            continue
+        tag = ""
+        if f.suppressed:
+            tag = " [suppressed]"
+        elif f.baselined:
+            tag = " [baselined]"
+        out.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule}: "
+                   f"{f.message}{tag}")
+        if f.context:
+            out.append(f"    {f.context}")
+    summary = (f"{len(report.new_findings)} finding(s) "
+               f"({report.suppressed_count} suppressed, "
+               f"{report.baselined_count} baselined) "
+               f"in {report.files_scanned} file(s)")
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def validate_report(payload: Mapping[str, object]) -> Mapping[str, object]:
+    """Check a parsed JSON report against the schema; returns it unchanged."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("report must be a JSON object")
+    for key in ("version", "files_scanned", "findings", "summary"):
+        if key not in payload:
+            raise ValueError(f"report is missing key {key!r}")
+    if payload["version"] != REPORT_VERSION:
+        raise ValueError(f"unsupported report version {payload['version']!r}")
+    findings = payload["findings"]
+    if not isinstance(findings, list):
+        raise ValueError("report 'findings' must be a list")
+    for entry in findings:
+        missing = [k for k in FINDING_KEYS if k not in entry]
+        if missing:
+            raise ValueError(f"finding is missing keys {missing}: "
+                             f"{sorted(entry)}")
+    return payload
+
+
+def findings_from_report(payload: Mapping[str, object]) -> List[Finding]:
+    """Rebuild :class:`Finding` objects from a validated JSON report."""
+    validate_report(payload)
+    out = []
+    for entry in payload["findings"]:  # type: ignore[index]
+        out.append(Finding(rule=entry["rule"], path=entry["path"],
+                           line=entry["line"], col=entry["col"],
+                           message=entry["message"],
+                           context=entry["context"],
+                           suppressed=entry["suppressed"],
+                           baselined=entry["baselined"]))
+    return out

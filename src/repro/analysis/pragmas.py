@@ -1,0 +1,78 @@
+"""Per-line pragma suppressions.
+
+Grammar (one comment, end of the offending line)::
+
+    # repro: allow[<rule>[,<rule>...]] -- <justification>
+
+``<rule>`` is a rule id (``set-iteration``) or a rule family
+(``hash-order``), matching every id in the family.  The justification after
+``--`` is **required**: a pragma without one does not suppress anything and
+is itself reported (``pragma-missing-justification``).  A pragma that
+suppresses nothing is reported too (``pragma-unused``) -- stale suppressions
+must not outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$")
+
+#: ids of the findings the pragma machinery itself emits
+MISSING_JUSTIFICATION = "pragma-missing-justification"
+UNUSED = "pragma-unused"
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int                      # 1-based line it sits on (and covers)
+    rules: List[str]               # rule ids / family names listed
+    justification: str             # "" when missing
+    used: bool = field(default=False)
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.justification) and bool(self.rules)
+
+    def covers(self, rule_id: str, family: str) -> bool:
+        return rule_id in self.rules or family in self.rules
+
+
+def _comment_tokens(text: str) -> List:
+    """(lineno, comment-text) for every real comment token in ``text``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps pragma text
+    inside string literals -- error messages, docstrings, test fixtures --
+    from being parsed as live suppressions.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        return [(tok.start[0], tok.string) for tok in tokens
+                if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # unparseable file: the parse-error finding covers it; no pragmas
+        return []
+
+
+def parse_pragmas(lines: List[str]) -> Dict[int, Pragma]:
+    """All pragmas of a file, keyed by 1-based line number."""
+    out: Dict[int, Pragma] = {}
+    for lineno, comment in _comment_tokens("\n".join(lines) + "\n"):
+        if "repro:" not in comment:
+            continue
+        match = PRAGMA_RE.search(comment)
+        if not match:
+            continue
+        rules = [token.strip() for token in match.group("rules").split(",")
+                 if token.strip()]
+        out[lineno] = Pragma(line=lineno, rules=rules,
+                             justification=(match.group("why") or "").strip())
+    return out

@@ -1,0 +1,73 @@
+"""The rule registry.
+
+A rule is a callable over one parsed source file yielding findings; it
+declares an id (what pragmas and baselines reference), a family (pragmas can
+suppress a whole family) and a one-line summary (``--list-rules``).
+Registration happens at import time via the :func:`rule` decorator;
+``repro.analysis.rules`` imports every rule module so the registry is
+complete after one ``load_rules()`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.analysis.findings import Finding
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    family: str
+    summary: str
+    check: Callable[["SourceFile"], Iterable[Finding]]  # noqa: F821
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, family: str, summary: str):
+    """Register a checker function under ``rule_id``."""
+
+    def decorate(fn: Callable) -> Callable:
+        if rule_id in _RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _RULES[rule_id] = Rule(id=rule_id, family=family, summary=summary,
+                               check=fn)
+        return fn
+
+    return decorate
+
+
+def load_rules() -> None:
+    """Import the rule modules (idempotent) so every rule is registered."""
+    from repro.analysis import rules  # noqa: F401  (import registers)
+
+
+def all_rules() -> List[Rule]:
+    load_rules()
+    return [_RULES[key] for key in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    load_rules()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule {rule_id!r}; "
+                       f"known: {sorted(_RULES)}") from None
+
+
+def family_of(rule_id: str) -> Optional[str]:
+    load_rules()
+    entry = _RULES.get(rule_id)
+    return entry.family if entry else None
+
+
+def known_suppression_targets() -> List[str]:
+    """Every token a pragma may list: rule ids and family names."""
+    load_rules()
+    out = set(_RULES)
+    out.update(r.family for r in _RULES.values())
+    return sorted(out)

@@ -1,0 +1,8 @@
+"""Rule modules; importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401  (imports register rules)
+    hash_order,
+    memo_contracts,
+    mirror_writes,
+    word_accounting,
+)

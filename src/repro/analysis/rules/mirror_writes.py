@@ -1,0 +1,69 @@
+"""Rule family ``repair-journal``: PhaseState mirrors mutate via the funnel.
+
+The array-native phase engine (PR 4) keeps NumPy mirrors of the per-vertex
+scalar state (``mate_arr``/``matched_arr``/``removed_arr``/``vlabel_arr``/
+``outer_arr``/``sid_arr``/``nid_arr``), and the incremental repair layer
+(PR 6) journals every mirror write so ``detach()`` can undo exactly what a
+phase touched.  A direct mirror write anywhere else bypasses both: the
+scalar state and the mirror drift apart (caught only when
+``check_invariants`` happens to run) and the repair journal misses the
+vertex, so the *next* phase starts from silently corrupted baseline state.
+
+The rule flags any assignment into (or rebinding of) a mirror attribute
+outside the two funnel modules, :mod:`repro.core.structures` (the mutation
+funnel itself) and :mod:`repro.core.repair` (the journal/baseline owner).
+Reads are always fine -- that is the whole point of the mirrors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+#: the PhaseState/RepairContext array mirrors
+MIRROR_ATTRS = frozenset({
+    "mate_arr", "matched_arr", "removed_arr", "vlabel_arr", "outer_arr",
+    "sid_arr", "nid_arr",
+})
+
+#: modules allowed to write mirrors: the PhaseState mutation funnel and the
+#: RepairContext journal/baseline maintenance (see module docstring)
+FUNNEL_MODULES = frozenset({"repro.core.structures", "repro.core.repair"})
+
+
+def _mirror_attr_of(target: ast.expr) -> str:
+    """The mirror attribute a target writes, or "" if none."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute) and target.attr in MIRROR_ATTRS:
+        return target.attr
+    if isinstance(target, ast.Name) and target.id in MIRROR_ATTRS:
+        return target.id
+    return ""
+
+
+@rule("mirror-write-outside-funnel", family="repair-journal",
+      summary="direct write to a PhaseState array mirror outside the "
+              "mutation funnel")
+def check_mirror_writes(source) -> Iterator[Finding]:
+    if source.tree is None or source.module in FUNNEL_MODULES:
+        return iter(())
+    out: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            continue
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            attr = _mirror_attr_of(target)
+            if attr:
+                out.append(source.finding(
+                    "mirror-write-outside-funnel", node,
+                    f"direct write to the {attr} mirror bypasses the "
+                    "PhaseState mutation funnel and the repair journal; "
+                    "route it through register_node/move_to_structure/"
+                    "mark_removed/set_label or the RepairContext"))
+    return iter(out)

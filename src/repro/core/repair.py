@@ -276,7 +276,7 @@ class RepairContext:
         for k in pending:
             touched.add(k // self.n)
             touched.add(k % self.n)
-        for v in touched:
+        for v in sorted(touched):
             self._nbrs.pop(v, None)
         self.stats["incremental_patches"] += 1
         self.stats["patched_edges"] += len(dele) + len(ins)

@@ -38,6 +38,8 @@ from abc import ABC, abstractmethod
 from itertools import chain
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type, Union
 
+from repro.utils.contracts import invalidates
+
 try:  # NumPy is optional; only the CSR backend and matrix export need it.
     import numpy as _np
 except ImportError:  # pragma: no cover - the image bakes numpy in
@@ -296,20 +298,20 @@ class AdjacencySetBackend(GraphBackend):
 
     def edges(self) -> Iterator[Edge]:
         for u in range(self._n):
-            for v in self._adj[u]:
+            for v in self._adj[u]:  # repro: allow[set-iteration] -- int keys hash to themselves: order is a pure function of the update sequence, independent of PYTHONHASHSEED; sorting would slow the baseline's hot path and shift its trace-pinned historical order
                 if u < v:
                     yield (u, v)
 
     def arcs(self) -> Iterator[Edge]:
         for u in range(self._n):
-            for v in self._adj[u]:
+            for v in self._adj[u]:  # repro: allow[set-iteration] -- int keys hash to themselves: order is a pure function of the update sequence, independent of PYTHONHASHSEED (see edges())
                 yield (u, v)
 
     def induced_edges(self, vertices) -> List[Edge]:
         index = vertices if isinstance(vertices, (set, frozenset)) else set(vertices)
         out: List[Edge] = []
         for u in vertices:
-            for v in self._adj[u]:
+            for v in self._adj[u]:  # repro: allow[set-iteration] -- int keys hash to themselves: order is a pure function of the update sequence, independent of PYTHONHASHSEED (see edges())
                 if u < v and v in index:
                     out.append((u, v))
         return out
@@ -398,6 +400,7 @@ class CSRBackend(GraphBackend):
         return keys // self._n, keys % self._n
 
     # ------------------------------------------------------------ single edge
+    @invalidates("_dirty")
     def add_edge(self, u: int, v: int) -> bool:
         self._check_edge(u, v)
         key = self._key(u, v)
@@ -407,6 +410,7 @@ class CSRBackend(GraphBackend):
         self._dirty = True
         return True
 
+    @invalidates("_dirty")
     def remove_edge(self, u: int, v: int) -> bool:
         self._check_vertex(u)
         self._check_vertex(v)
@@ -445,6 +449,7 @@ class CSRBackend(GraphBackend):
         hi = np.maximum(u, v)
         return lo * self._n + hi
 
+    @invalidates("_dirty")
     def add_edges(self, edges: Iterable[Edge]) -> int:
         keys = self._canonical_keys(edges)
         if keys.size == 0:
@@ -456,6 +461,7 @@ class CSRBackend(GraphBackend):
             self._dirty = True
         return added
 
+    @invalidates("_dirty")
     def remove_edges(self, edges: Iterable[Edge]) -> int:
         keys = self._canonical_keys(edges)
         if keys.size == 0:

@@ -144,11 +144,7 @@ class BipartiteDoubleCover:
             if u == v:
                 continue
             edges.add((u, v) if u < v else (v, u))
-        # Build the degree-<=2 subgraph and greedily pick an independent edge set.
-        adj: Dict[int, List[int]] = {}
-        for u, v in edges:
-            adj.setdefault(u, []).append(v)
-            adj.setdefault(v, []).append(u)
+        # Greedily pick an independent edge set from the degree-<=2 subgraph.
         used: Set[int] = set()
         result: List[Tuple[int, int]] = []
         for u, v in sorted(edges):

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.backends import BackendSpec
 from repro.graph.graph import Graph, normalize_edge
+from repro.utils.contracts import invalidates
 
 Edge = Tuple[int, int]
 
@@ -131,6 +132,7 @@ class DynamicGraph:
         return tuple(self._log)
 
     # ---------------------------------------------------------------- updates
+    @invalidates("_num_updates", "_max_edges")
     def apply(self, update: Update) -> bool:
         """Apply one update.  Returns whether the snapshot actually changed."""
         changed = False
@@ -144,9 +146,11 @@ class DynamicGraph:
         self._max_edges = max(self._max_edges, self._graph.m)
         return changed
 
+    @invalidates("_num_updates", "_max_edges")
     def insert(self, u: int, v: int) -> bool:
         return self.apply(Update.insert(u, v))
 
+    @invalidates("_num_updates", "_max_edges")
     def delete(self, u: int, v: int) -> bool:
         return self.apply(Update.delete(u, v))
 
@@ -179,6 +183,7 @@ class DynamicGraph:
                 w = upd.u if not 0 <= upd.u < n else upd.v
                 raise ValueError(f"vertex {w} out of range [0, {n})")
 
+    @invalidates("_num_updates", "_max_edges")
     def apply_all(self, updates: Iterable[Update]) -> int:
         """Apply a sequence/stream of updates; returns how many changed the graph.
 
@@ -218,10 +223,12 @@ class DynamicGraph:
             self._max_edges = max(self._max_edges, self._graph.m)
         return changed
 
+    @invalidates("_num_updates", "_max_edges")
     def insert_edges(self, edges: Iterable[Edge]) -> int:
         """Batched insert: log one :class:`Update` per edge, mutate in bulk."""
         return self.apply_all(Update.insert(u, v) for u, v in edges)
 
+    @invalidates("_num_updates", "_max_edges")
     def delete_edges(self, edges: Iterable[Edge]) -> int:
         """Batched delete: log one :class:`Update` per edge, mutate in bulk."""
         return self.apply_all(Update.delete(u, v) for u, v in edges)

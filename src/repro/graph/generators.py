@@ -288,7 +288,7 @@ def verify_ors(graph: Graph, matchings: Sequence[Sequence[Tuple[int, int]]]) -> 
         # than the matching edges themselves, and no M_i vertex adjacent to
         # another M_i vertex via the suffix subgraph.
         mi_edges = {(min(u, v), max(u, v)) for u, v in mi}
-        for u in mi_vertices:
+        for u in sorted(mi_vertices):
             for w in graph.neighbors(u):
                 if w in mi_vertices and (min(u, w), max(u, w)) not in mi_edges:
                     return False

@@ -60,7 +60,7 @@ def _greedy_select_arrays(orig_u, orig_v, n: int,
     pos = np.arange(us.size, dtype=np.int64)
     if blocked:
         blocked_mask = np.zeros(n, dtype=bool)
-        blocked_mask[list(blocked)] = True
+        blocked_mask[sorted(blocked)] = True
         keep = ~(blocked_mask[us] | blocked_mask[vs])
         us, vs, pos = us[keep], vs[keep], pos[keep]
     matched = np.zeros(n, dtype=bool)

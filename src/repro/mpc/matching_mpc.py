@@ -77,7 +77,7 @@ def mpc_approx_matching(graph: Graph, simulator: MPCSimulator,
                         proposals[x] = e
                 else:
                     keep.append(item)
-            simulator.storage[machine_id] = keep
+            simulator.storage[machine_id] = keep  # repro: allow[word-accounting-bypass] -- shrinks the machine's own storage in place; no words cross machines, nothing new to size
 
         # ---- round 2: resolve proposals (home machines agree on mutual picks)
         new_edges: List[Edge] = []

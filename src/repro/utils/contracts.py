@@ -1,0 +1,74 @@
+"""Declared runtime contracts that the static analyzer reads.
+
+The memo-invalidation bug class (a mutating method that forgets to mark a
+compiled/cached view stale) has been caught twice at runtime: the PR 4 smoke
+regression (``CSRBackend.neighbor_list`` memo) and the PR 6 hypothesis
+property test over every CSR mutation API.  The hypothesis test is a good
+*oracle* but a bad *gate*: it only exercises the mutators someone remembered
+to list in its script.
+
+This module turns that knowledge into a declaration the static checker can
+enforce: a mutating method is decorated with :func:`invalidates`, naming the
+instance attributes it must write (the dirty flag / counters guarding the
+memoised views).  ``repro.analysis`` (rule family ``memo-contract``) then
+checks, purely from the AST, that
+
+* every decorated method really assigns each declared attribute (directly or
+  via another method of the same class), and
+* once a class declares any mutator, every other method whose name looks like
+  a mutator (``add_*``, ``remove_*``, ``delete_*``, ``insert_*``, ``apply*``,
+  ``clear*``) is declared too -- new mutation APIs cannot silently skip the
+  contract.
+
+The decorator is zero-cost at runtime (it only tags the function); the
+runtime registry below exists so tests can assert the declarations are
+*complete* against behaviour (the hypothesis test remains the oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+#: attribute set on decorated functions; the AST checker matches the
+#: decorator by name, the runtime registry by this attribute
+_MARKER = "__invalidates__"
+
+
+def invalidates(*attrs: str) -> Callable:
+    """Declare that this mutating method invalidates the named attributes.
+
+    ``attrs`` are instance-attribute names (e.g. ``"_dirty"``) that guard the
+    class's memoised views; the static checker verifies the method body
+    assigns every one of them.  Must be the *innermost* decorator so the tag
+    lands on the actual function object.
+    """
+    if not attrs:
+        raise ValueError("invalidates() needs at least one attribute name")
+    for attr in attrs:
+        if not isinstance(attr, str) or not attr:
+            raise ValueError(f"attribute names must be non-empty strings, "
+                             f"got {attr!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        setattr(fn, _MARKER, tuple(attrs))
+        return fn
+
+    return decorate
+
+
+def declared_mutators(cls: type) -> Dict[str, Tuple[str, ...]]:
+    """All :func:`invalidates`-declared mutators of ``cls`` (incl. bases).
+
+    Maps method name to the declared attribute tuple; subclass declarations
+    shadow base-class ones.  This is the registry the completeness tests
+    iterate: every mutation API a behavioural test exercises must appear
+    here, and vice versa.
+    """
+    out: Dict[str, Tuple[str, ...]] = {}
+    for klass in reversed(cls.__mro__):
+        for name, member in vars(klass).items():
+            fn = getattr(member, "__func__", member)  # un-wrap staticmethod &c.
+            declared = getattr(fn, _MARKER, None)
+            if declared is not None:
+                out[name] = declared
+    return out

@@ -1,0 +1,573 @@
+"""Tests for the determinism & contract linter (``repro.analysis``).
+
+Per rule family: a planted positive fixture (the acceptance criterion --
+every family must *detect*), a negative that idiomatic code stays clean,
+and a pragma-suppressed variant.  Plus the pragma grammar/hygiene, the
+line-number-free fingerprints, the baseline add/remove flows, the CLI exit
+codes, the JSON report schema round-trip, and the runtime
+``@invalidates`` registry the memo-contract family reads.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    analyze_paths,
+    findings_from_report,
+    from_findings,
+    load_baseline,
+    render_json,
+    save_baseline,
+    validate_report,
+)
+from repro.analysis.baseline import stale_fingerprints
+from repro.analysis.cli import main as cli_main
+from repro.analysis.sanitizer import (
+    canonical_bytes,
+    compare_record_sets,
+    normalize_record,
+)
+from repro.utils.contracts import declared_mutators, invalidates
+
+
+def plant(tmp_path, rel, text):
+    """Write a fixture module under a synthetic ``repro`` package root.
+
+    ``module_name_for`` anchors at the last ``repro`` path component, so
+    ``<tmp>/repro/core/fx.py`` is analyzed as module ``repro.core.fx`` --
+    fixtures land in whichever package a rule scopes to.
+    """
+    path = tmp_path / "repro" / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+def lint(tmp_path, *, baseline=None):
+    return analyze_paths([tmp_path], baseline=baseline, root=tmp_path)
+
+
+def new_rules(report):
+    return {f.rule for f in report.new_findings}
+
+
+# --------------------------------------------------------------- hash-order
+class TestHashOrderFamily:
+    def test_set_iteration_detected(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f(s: set):
+                for v in s:
+                    print(v)
+        """)
+        assert "set-iteration" in new_rules(lint(tmp_path))
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f(s: set):
+                for v in sorted(s):
+                    print(v)
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_list_materialization_detected(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f():
+                s = {1, 2, 3}
+                return list(s)
+        """)
+        assert "set-iteration" in new_rules(lint(tmp_path))
+
+    def test_set_minmax_and_pop_detected(self, tmp_path):
+        plant(tmp_path, "matching/fx.py", """\
+            def f():
+                s = set((1, 2))
+                lo = min(s)
+                return lo, s.pop()
+        """)
+        rules = new_rules(lint(tmp_path))
+        assert {"set-minmax", "set-pop"} <= rules
+
+    def test_id_order_detected(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f(items):
+                return sorted(items, key=id)
+        """)
+        assert "id-order" in new_rules(lint(tmp_path))
+
+    def test_dict_views_and_counting_are_clean(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f(s: set, d: dict):
+                for k in d:
+                    print(k)
+                return len(s), sum(s), sorted(s)
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_rule_scoped_to_algorithm_packages(self, tmp_path):
+        # identical offending code outside core/dynamic/mpc/congest/
+        # matching/graph is out of scope (report tooling, utils)
+        plant(tmp_path, "utils/fx.py", """\
+            def f(s: set):
+                for v in s:
+                    print(v)
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_unseeded_random_detected_everywhere_but_seeding(self, tmp_path):
+        plant(tmp_path, "bench/fx.py", """\
+            import random
+
+            def f():
+                return random.random()
+        """)
+        plant(tmp_path, "utils/seeding.py", """\
+            import random
+
+            def f():
+                return random.random()
+        """)
+        report = lint(tmp_path)
+        offenders = {f.path for f in report.new_findings
+                     if f.rule == "unseeded-random"}
+        assert any(p.endswith("bench/fx.py") for p in offenders)
+        assert not any(p.endswith("seeding.py") for p in offenders)
+
+    def test_np_default_rng_is_clean_module_draw_is_not(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            import numpy as np
+
+            def good(seed):
+                return np.random.default_rng(seed)
+
+            def bad():
+                return np.random.rand(3)
+        """)
+        report = lint(tmp_path)
+        hits = [f for f in report.new_findings if f.rule == "unseeded-random"]
+        assert len(hits) == 1
+        assert "rand" in hits[0].context
+
+
+# ---------------------------------------------------------- word-accounting
+class TestWordAccountingFamily:
+    def test_unsized_send_path_detected(self, tmp_path):
+        plant(tmp_path, "mpc/fx.py", """\
+            class Sim:
+                def send(self, dest, payload):
+                    self.storage[dest].append(payload)
+        """)
+        assert "word-accounting-bypass" in new_rules(lint(tmp_path))
+
+    def test_funnel_reference_satisfies_contract(self, tmp_path):
+        plant(tmp_path, "congest/fx.py", """\
+            class Sim:
+                def send(self, dest, payload):
+                    self._check_size(payload)
+                    self.inboxes[dest].append(payload)
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_counter_charge_without_funnel_detected(self, tmp_path):
+        plant(tmp_path, "mpc/fx.py", """\
+            class Sim:
+                def settle(self, n):
+                    self.counters.add("mpc_messages", n)
+        """)
+        assert "word-accounting-bypass" in new_rules(lint(tmp_path))
+
+    def test_init_allocation_is_exempt(self, tmp_path):
+        plant(tmp_path, "mpc/fx.py", """\
+            class Sim:
+                def __init__(self, n):
+                    self.storage = [[] for _ in range(n)]
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_rule_scoped_to_mpc_and_congest(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            class NotASim:
+                def stash(self, payload):
+                    self.storage.append(payload)
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+
+# ------------------------------------------------------------ memo-contract
+class TestMemoContractFamily:
+    def test_declared_mutator_missing_write_detected(self, tmp_path):
+        plant(tmp_path, "graph/fx.py", """\
+            class Cache:
+                @invalidates("_memo")
+                def add_item(self, x):
+                    self._items = x
+        """)
+        assert "memo-invalidation-missing" in new_rules(lint(tmp_path))
+
+    def test_delegation_counts_as_write(self, tmp_path):
+        plant(tmp_path, "graph/fx.py", """\
+            class Cache:
+                @invalidates("_memo")
+                def add_item(self, x):
+                    self._memo = None
+
+                @invalidates("_memo")
+                def insert_item(self, x):
+                    self.add_item(x)
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_inplace_mutation_counts_as_write(self, tmp_path):
+        plant(tmp_path, "graph/fx.py", """\
+            class Cache:
+                @invalidates("_memo")
+                def clear_all(self):
+                    self._memo.clear()
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_undeclared_mutator_on_opted_in_class_detected(self, tmp_path):
+        plant(tmp_path, "graph/fx.py", """\
+            class Cache:
+                @invalidates("_memo")
+                def add_item(self, x):
+                    self._memo = None
+
+                def remove_item(self, x):
+                    self._memo = None
+        """)
+        assert "memo-mutator-undeclared" in new_rules(lint(tmp_path))
+
+    def test_class_without_declarations_is_out_of_scope(self, tmp_path):
+        plant(tmp_path, "graph/fx.py", """\
+            class Plain:
+                def add_item(self, x):
+                    self._items = x
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+
+# ----------------------------------------------------------- repair-journal
+class TestRepairJournalFamily:
+    def test_mirror_write_outside_funnel_detected(self, tmp_path):
+        plant(tmp_path, "dynamic/fx.py", """\
+            def fast_path(state, v):
+                state.mate_arr[v] = -1
+        """)
+        assert "mirror-write-outside-funnel" in new_rules(lint(tmp_path))
+
+    def test_funnel_modules_are_allowlisted(self, tmp_path):
+        plant(tmp_path, "core/structures.py", """\
+            def set_mate(self, v, mate):
+                self.mate_arr[v] = mate
+        """)
+        plant(tmp_path, "core/repair.py", """\
+            def restore(self, v, snapshot):
+                self.matched_arr[v] = snapshot
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_mirror_reads_are_clean(self, tmp_path):
+        plant(tmp_path, "dynamic/fx.py", """\
+            def peek(state, v):
+                return state.mate_arr[v]
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+
+# ---------------------------------------------------- acceptance: all four
+def test_all_four_families_detect_planted_fixtures(tmp_path):
+    plant(tmp_path, "core/hash_fx.py", """\
+        def f(s: set):
+            for v in s:
+                print(v)
+    """)
+    plant(tmp_path, "mpc/words_fx.py", """\
+        class Sim:
+            def send(self, dest, payload):
+                self.storage[dest].append(payload)
+    """)
+    plant(tmp_path, "graph/memo_fx.py", """\
+        class Cache:
+            @invalidates("_memo")
+            def add_item(self, x):
+                self._items = x
+    """)
+    plant(tmp_path, "dynamic/mirror_fx.py", """\
+        def f(state, v):
+            state.mate_arr[v] = -1
+    """)
+    assert {"set-iteration", "word-accounting-bypass",
+            "memo-invalidation-missing",
+            "mirror-write-outside-funnel"} <= new_rules(lint(tmp_path))
+
+
+# ------------------------------------------------------------------ pragmas
+class TestPragmas:
+    OFFENDING = """\
+        def f(s: set):
+            for v in s:{pragma}
+                print(v)
+    """
+
+    def test_valid_pragma_suppresses(self, tmp_path):
+        plant(tmp_path, "core/fx.py", self.OFFENDING.format(
+            pragma="  # repro: allow[set-iteration] -- fixture justification"))
+        report = lint(tmp_path)
+        assert report.new_findings == []
+        assert report.suppressed_count == 1
+
+    def test_family_name_suppresses_every_member_rule(self, tmp_path):
+        plant(tmp_path, "core/fx.py", self.OFFENDING.format(
+            pragma="  # repro: allow[hash-order] -- fixture justification"))
+        report = lint(tmp_path)
+        assert report.new_findings == []
+        assert report.suppressed_count == 1
+
+    def test_justification_is_mandatory(self, tmp_path):
+        plant(tmp_path, "core/fx.py", self.OFFENDING.format(
+            pragma="  # repro: allow[set-iteration]"))
+        rules = new_rules(lint(tmp_path))
+        # nothing suppressed, and the bare pragma is itself reported
+        assert {"set-iteration", "pragma-missing-justification"} <= rules
+
+    def test_unused_pragma_reported(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f():  # repro: allow[set-iteration] -- nothing to suppress
+                return 1
+        """)
+        assert "pragma-unused" in new_rules(lint(tmp_path))
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        plant(tmp_path, "core/fx.py", self.OFFENDING.format(
+            pragma="  # repro: allow[set-pop] -- wrong rule listed"))
+        rules = new_rules(lint(tmp_path))
+        assert {"set-iteration", "pragma-unused"} <= rules
+
+    def test_pragma_text_inside_string_is_inert(self, tmp_path):
+        # regression: the engine's own error message contains pragma text
+        # in a string literal; tokenize-based parsing must not see it
+        plant(tmp_path, "core/fx.py", """\
+            MSG = "# repro: allow[set-iteration] -- not a real pragma"
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+
+# ------------------------------------------------- fingerprints & baseline
+class TestFingerprintsAndBaseline:
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        path = plant(tmp_path, "core/fx.py", """\
+            def f(s: set):
+                for v in s:
+                    print(v)
+        """)
+        before = {f.fingerprint for f in lint(tmp_path).new_findings}
+        path.write_text("# shifted\n# down\n\n" + path.read_text(),
+                        encoding="utf-8")
+        after = {f.fingerprint for f in lint(tmp_path).new_findings}
+        assert before == after
+
+    def test_baseline_grandfathers_and_check_recovers(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f(s: set):
+                for v in s:
+                    print(v)
+        """)
+        report = lint(tmp_path)
+        assert report.new_findings
+        baseline = from_findings(report.new_findings)
+        report2 = lint(tmp_path, baseline=baseline)
+        assert report2.new_findings == []
+        assert report2.baselined_count == len(report.new_findings)
+
+    def test_removed_entry_resurfaces_finding(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f(s: set):
+                for v in s:
+                    print(v)
+        """)
+        baseline = from_findings(lint(tmp_path).new_findings)
+        fingerprint = next(iter(baseline.fingerprints))
+        assert baseline.remove(fingerprint)
+        assert not baseline.remove(fingerprint)  # idempotent
+        assert lint(tmp_path, baseline=baseline).new_findings
+
+    def test_stale_entries_are_listed(self, tmp_path):
+        plant(tmp_path, "core/fx.py", "def f():\n    return 1\n")
+        baseline = Baseline(entries={"deadbeefdeadbeef": {
+            "fingerprint": "deadbeefdeadbeef", "rule": "set-iteration",
+            "path": "repro/core/gone.py", "context": "for v in s:"}})
+        report = lint(tmp_path, baseline=baseline)
+        assert stale_fingerprints(baseline, report.findings) == \
+            ["deadbeefdeadbeef"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f(s: set):
+                for v in s:
+                    print(v)
+        """)
+        baseline = from_findings(lint(tmp_path).new_findings)
+        target = tmp_path / "baseline.json"
+        save_baseline(baseline, target)
+        assert load_baseline(target).fingerprints == baseline.fingerprints
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json").fingerprints == set()
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(bad)
+
+
+# ------------------------------------------------------------- JSON report
+def test_json_report_schema_round_trip(tmp_path):
+    plant(tmp_path, "core/fx.py", """\
+        def f(s: set):
+            for v in s:
+                print(v)
+    """)
+    report = lint(tmp_path)
+    payload = json.loads(render_json(report))
+    validate_report(payload)
+    rebuilt = findings_from_report(payload)
+    assert [(f.rule, f.path, f.line, f.message, f.context)
+            for f in rebuilt] == \
+        [(f.rule, f.path, f.line, f.message, f.context)
+         for f in report.findings]
+    assert payload["summary"]["new"] == len(report.new_findings)
+    with pytest.raises(ValueError, match="missing key"):
+        validate_report({"version": 1})
+
+
+def test_parse_error_is_a_finding(tmp_path):
+    plant(tmp_path, "core/fx.py", "def broken(:\n")
+    assert "parse-error" in new_rules(lint(tmp_path))
+
+
+# --------------------------------------------------------------------- CLI
+class TestCLI:
+    def _dirty_tree(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def f(s: set):
+                for v in s:
+                    print(v)
+        """)
+        return str(tmp_path / "repro"), str(tmp_path / "baseline.json")
+
+    def test_check_exit_codes(self, tmp_path, capsys):
+        target, baseline = self._dirty_tree(tmp_path)
+        assert cli_main(["--check", "--baseline", baseline, target]) == 1
+        assert "set-iteration" in capsys.readouterr().out
+        # report-only mode never gates
+        assert cli_main(["--baseline", baseline, target]) == 0
+        capsys.readouterr()
+
+    def test_update_baseline_flow(self, tmp_path, capsys):
+        target, baseline = self._dirty_tree(tmp_path)
+        assert cli_main(["--update-baseline", "--baseline", baseline,
+                         target]) == 0
+        assert cli_main(["--check", "--baseline", baseline, target]) == 0
+        capsys.readouterr()
+
+    def test_stale_baseline_fails_check(self, tmp_path, capsys):
+        target, baseline = self._dirty_tree(tmp_path)
+        assert cli_main(["--update-baseline", "--baseline", baseline,
+                         target]) == 0
+        # fix the code: the baselined finding disappears, its entry goes
+        # stale, and --check demands the entry be retired
+        plant(tmp_path, "core/fx.py", "def f():\n    return 1\n")
+        assert cli_main(["--check", "--baseline", baseline, target]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target, baseline = self._dirty_tree(tmp_path)
+        assert cli_main(["--format", "json", "--baseline", baseline,
+                         target]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["summary"]["new"] >= 1
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("set-iteration", "word-accounting-bypass",
+                        "memo-invalidation-missing",
+                        "mirror-write-outside-funnel"):
+            assert rule_id in out
+
+    def test_bad_path_is_usage_error(self, tmp_path, capsys):
+        assert cli_main([str(tmp_path / "no_such_dir")]) == 2
+        capsys.readouterr()
+
+    def test_explicit_lint_subcommand(self, tmp_path, capsys):
+        target, baseline = self._dirty_tree(tmp_path)
+        assert cli_main(["lint", "--check", "--baseline", baseline,
+                         target]) == 1
+        capsys.readouterr()
+
+
+# ------------------------------------------------------- sanitizer helpers
+class TestSanitizerNormalization:
+    RECORD = {"scenario": "s", "params": {"seed": 0}, "wall_s": 1.23,
+              "timestamp": "t", "python": "3.11",
+              "counters": {"oracle_calls": 7.0, "repair_ms": 0.4,
+                           "phase_s": 0.1}}
+
+    def test_volatile_fields_dropped(self):
+        normalized = normalize_record(self.RECORD)
+        assert "wall_s" not in normalized and "timestamp" not in normalized
+        assert normalized["counters"] == {"oracle_calls": 7.0}
+
+    def test_canonical_bytes_ignore_only_volatile_fields(self):
+        other = dict(self.RECORD, wall_s=9.99, timestamp="later")
+        assert canonical_bytes([self.RECORD]) == canonical_bytes([other])
+        drifted = dict(self.RECORD,
+                       counters={"oracle_calls": 8.0, "repair_ms": 0.4,
+                                 "phase_s": 0.1})
+        ok, diff = compare_record_sets([self.RECORD], [drifted])
+        assert not ok and "oracle_calls" in diff
+
+    def test_count_mismatch_reported(self):
+        ok, diff = compare_record_sets([self.RECORD], [])
+        assert not ok and "record count" in diff
+
+
+# ------------------------------------------------------- runtime contracts
+class TestInvalidatesRegistry:
+    def test_decorator_validates_arguments(self):
+        with pytest.raises(ValueError, match="at least one"):
+            invalidates()
+        with pytest.raises(ValueError, match="non-empty strings"):
+            invalidates("")
+
+    def test_registry_walks_mro_and_shadows(self):
+        class Base:
+            @invalidates("_a")
+            def add_x(self):
+                self._a = None
+
+        class Child(Base):
+            @invalidates("_a", "_b")
+            def add_x(self):
+                self._a = self._b = None
+
+            @invalidates("_b")
+            def remove_x(self):
+                self._b = None
+
+        assert declared_mutators(Base) == {"add_x": ("_a",)}
+        assert declared_mutators(Child) == {"add_x": ("_a", "_b"),
+                                            "remove_x": ("_b",)}
+
+    def test_decorator_is_zero_cost(self):
+        @invalidates("_flag")
+        def mutate(self):
+            self._flag = True
+
+        assert mutate.__invalidates__ == ("_flag",)
+        assert mutate.__name__ == "mutate"  # no wrapper object

@@ -399,6 +399,42 @@ class TestCSRMemoInvalidation:
         ptr2, idx2 = backend.csr_arrays()
         assert ptr2 is ptr and idx2 is idx  # cache untouched by no-ops
 
+    def test_property_covers_every_declared_mutator(self):
+        """The hypothesis script exercises the full @invalidates registry.
+
+        The static checker (repro.analysis, memo-contract family) reads the
+        same declarations; this test is the completeness oracle keeping the
+        runtime property and the static contract in sync.  If a new mutator
+        is declared, the script above must learn to drive it -- directly or
+        through a declared method it delegates to.
+        """
+        from repro.utils.contracts import declared_mutators
+
+        assert set(declared_mutators(CSRBackend)) == {
+            "add_edge", "remove_edge", "add_edges", "remove_edges"}
+        # the script drives apply_all; insert/delete/insert_edges/
+        # delete_edges are declared delegates of apply/apply_all
+        dg_declared = set(declared_mutators(DynamicGraph))
+        assert {"apply", "apply_all"} <= dg_declared
+        assert dg_declared == {"apply", "insert", "delete", "apply_all",
+                               "insert_edges", "delete_edges"}
+        script_ops = {"add_edge", "remove_edge", "add_edges", "remove_edges",
+                      "apply_all"}
+        assert script_ops <= (set(declared_mutators(CSRBackend)) | dg_declared)
+
+    def test_declared_guards_exist_on_instances(self):
+        """Every declared guard attribute is a real attribute (no typos)."""
+        from repro.utils.contracts import declared_mutators
+
+        csr = make_backend("csr", 4)
+        for attrs in declared_mutators(CSRBackend).values():
+            for attr in attrs:
+                assert hasattr(csr, attr), attr
+        dyn = DynamicGraph(4, backend="csr")
+        for attrs in declared_mutators(DynamicGraph).values():
+            for attr in attrs:
+                assert hasattr(dyn, attr), attr
+
 
 # ---------------------------------------------------------------------------
 # benchmark smoke (tier-1 runs the harness in seconds)

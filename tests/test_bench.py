@@ -380,6 +380,10 @@ def test_smoke_gate_all_scenarios(tmp_path):
     env = dict(os.environ)
     env["REPRO_BENCH_SMOKE"] = "1"
     env["REPRO_BENCH_OUT"] = str(tmp_path)
+    # pin the hash seed: the gate asserts cross-backend record equality, and
+    # an unpinned subprocess would silently retest under whatever seed the
+    # host chose -- determinism failures must reproduce byte-for-byte
+    env["PYTHONHASHSEED"] = "0"
     env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
                          + os.pathsep + env.get("PYTHONPATH", ""))
     result = subprocess.run(
@@ -464,3 +468,46 @@ def test_smoke_gate_all_scenarios(tmp_path):
             + ", ".join(f"{r['scenario']}[{r['backend']}] "
                         f"{r['old'] * 1e3:.3f}ms -> {r['new'] * 1e3:.3f}ms "
                         f"({r['ratio']:.2f}x)" for r in bad_latency))
+
+
+# -------------------------------------------------- static analysis gate
+def test_static_analysis_gate():
+    """``python -m repro.analysis --check src/repro`` stays clean.
+
+    The determinism & contract linter (hash-order, word-accounting,
+    memo-contract, repair-journal families) gates every tier-1 run; new
+    algorithm code must either satisfy the rules or carry a justified
+    ``# repro: allow[...]`` pragma.  The committed baseline is empty by
+    policy, so any exit 1 here is a *new* finding.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--check",
+         os.path.join(REPO_ROOT, "src", "repro")],
+        capture_output=True, text=True, timeout=120, env=env, cwd=REPO_ROOT)
+    assert result.returncode == 0, (
+        "repro.analysis --check found new violations:\n"
+        + result.stdout + result.stderr)
+
+
+# ------------------------------------------------ determinism sanitizer
+def test_hash_seed_and_jobs_sanitizer():
+    """BENCH records are byte-identical across PYTHONHASHSEED and --jobs.
+
+    Runs the table2_dynamic smoke scenario three times in subprocesses --
+    baseline (PYTHONHASHSEED=0, --jobs 1), a hash-seed variant
+    (PYTHONHASHSEED=1) and a worker-count variant (--jobs 2) -- and
+    byte-compares the records minus the honest wall-clock fields.  This is
+    the runtime complement of the static hash-order rules: it checks the
+    determinism *property* the sharded-execution and compiled-kernel
+    roadmap items depend on, not just the patterns that broke it before.
+    """
+    from repro.analysis.sanitizer import run_sanitizer
+
+    result = run_sanitizer("table2_dynamic", seed=0, repo_root=REPO_ROOT,
+                           timeout=240.0)
+    assert result.ok, result.render()
+    # both axes were actually compared against the baseline
+    assert len(result.compared) == 2, result.render()

@@ -1,10 +1,25 @@
-"""Setuptools shim.
+"""Setuptools packaging for the reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists only so
-that ``pip install -e .`` works in offline environments without the ``wheel``
-package (legacy editable installs need a ``setup.py``).
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so ``pip install -e .``
+works in offline environments without the ``wheel`` package -- legacy
+editable installs need exactly this file.  The ``repro-lint`` console script
+is the installable face of ``python -m repro.analysis`` (stdlib-only, so it
+works even where NumPy is absent).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-matching",
+    version="0.8.0",
+    description="Reproduction: incremental (1+eps)-approximate matching "
+                "(dynamic, MPC and CONGEST models)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-lint=repro.analysis.cli:main",
+        ],
+    },
+)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.analysis.findings import Finding
 
@@ -89,8 +89,19 @@ def save_baseline(baseline: Baseline, path) -> Path:
     return path
 
 
-def stale_fingerprints(baseline: Baseline,
-                       findings: Iterable[Finding]) -> List[str]:
-    """Baseline entries no longer matched by any current finding."""
+def stale_fingerprints(baseline: Baseline, findings: Iterable[Finding],
+                       paths: Optional[Iterable[str]] = None) -> List[str]:
+    """Baseline entries no longer matched by any current finding.
+
+    ``paths`` restricts the check to entries whose recorded path was
+    actually scanned: a subset run (``--paths`` / ``--changed``) must not
+    declare entries for *unscanned* files stale just because it never
+    looked at them.  ``None`` (a full-tree run) checks every entry.
+    """
     current = {f.fingerprint for f in findings}
-    return sorted(baseline.fingerprints - current)
+    candidates = baseline.fingerprints
+    if paths is not None:
+        scanned = set(paths)
+        candidates = {fp for fp in candidates
+                      if baseline.entries[fp].get("path") in scanned}
+    return sorted(candidates - current)

@@ -15,6 +15,7 @@ be run exploratively while triaging.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -35,6 +36,16 @@ def _build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*",
                         help="files/directories to scan "
                              "(default: src/repro at the repo root)")
+    parser.add_argument("--paths", dest="extra_paths", nargs="+",
+                        default=None, metavar="FILE",
+                        help="additional files/directories to scan (a "
+                             "pre-commit-speed subset run; the stale-"
+                             "baseline check is restricted to the scanned "
+                             "files)")
+    parser.add_argument("--changed", action="store_true",
+                        help="scan only the repo's changed python files "
+                             "(git diff --name-only HEAD) against the full "
+                             "baseline")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 on new findings or stale baseline "
                              "entries (the CI gate)")
@@ -70,6 +81,27 @@ def _build_sanitize_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def changed_python_files(root: Path) -> List[Path]:
+    """Tracked ``.py`` files with staged or unstaged changes under ``root``.
+
+    ``git diff --name-only HEAD`` covers both the index and the working
+    tree (the pre-commit use case); deleted files are skipped -- there is
+    nothing left to lint, and the full-tree gate retires their baseline
+    entries.
+    """
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        cwd=str(root), capture_output=True, text=True, check=True)
+    out: List[Path] = []
+    for line in proc.stdout.splitlines():
+        if not line.endswith(".py"):
+            continue
+        path = root / line
+        if path.is_file():
+            out.append(path)
+    return out
+
+
 def _list_rules() -> int:
     for entry in all_rules():
         print(f"{entry.id:32s} [{entry.family}] {entry.summary}")
@@ -81,8 +113,24 @@ def run_lint(argv: Sequence[str]) -> int:
     if args.list_rules:
         return _list_rules()
     root = find_repo_root()
-    paths: List[Path] = ([Path(p) for p in args.paths] if args.paths
-                         else [root / "src" / "repro"])
+    paths: List[Path] = [Path(p) for p in args.paths]
+    if args.extra_paths:
+        paths.extend(Path(p) for p in args.extra_paths)
+    if args.changed:
+        try:
+            paths.extend(changed_python_files(root))
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"error: --changed needs a git checkout at {root}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not paths:
+            print("no changed python files; nothing to lint")
+            return 0
+    # a subset run checks only the named files; the stale-baseline check is
+    # then restricted to them (an unscanned file's entry is not stale)
+    subset = bool(paths)
+    if not paths:
+        paths = [root / "src" / "repro"]
     for path in paths:
         if not path.exists():
             print(f"error: no such path: {path}", file=sys.stderr)
@@ -106,7 +154,9 @@ def run_lint(argv: Sequence[str]) -> int:
         return 0
 
     report = analyze_paths(paths, baseline=baseline, root=root)
-    stale = baseline_mod.stale_fingerprints(baseline, report.findings)
+    stale = baseline_mod.stale_fingerprints(
+        baseline, report.findings,
+        paths=report.paths_scanned if subset else None)
     if args.format == "json":
         sys.stdout.write(render_json(report))
     else:

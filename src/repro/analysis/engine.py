@@ -161,6 +161,7 @@ def analyze_paths(paths: Sequence, baseline: Optional[Baseline] = None,
     for path in iter_python_files(paths):
         source = load_source_file(path, root=root)
         report.files_scanned += 1
+        report.paths_scanned.append(source.rel)
         file_findings = analyze_source(source, rules=active)
         all_findings.extend(_apply_pragmas(source, file_findings, families))
     processed = assign_occurrences(all_findings)

@@ -77,6 +77,11 @@ class Report:
 
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    #: reported (repo-relative) paths of the scanned files; subset runs
+    #: (``--paths`` / ``--changed``) use it to restrict the stale-baseline
+    #: check to entries the run could actually have re-observed.  Not part
+    #: of the serialized report schema.
+    paths_scanned: List[str] = field(default_factory=list)
 
     @property
     def new_findings(self) -> List[Finding]:

@@ -2,7 +2,9 @@
 
 from repro.analysis.rules import (  # noqa: F401  (imports register rules)
     hash_order,
+    hot_path,
     memo_contracts,
     mirror_writes,
+    parallel_safety,
     word_accounting,
 )

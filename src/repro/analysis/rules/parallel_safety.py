@@ -1,0 +1,525 @@
+"""Rule family ``parallel-safety``: code that diverges under a process pool.
+
+The sharded-execution roadmap item will run today's serially-executed
+machine/vertex programs in worker processes.  Three bug classes behave fine
+under :class:`~repro.exec.SerialExecutor` and silently diverge (or crash)
+once a :class:`~repro.exec.ProcessExecutor` is plugged in:
+
+* ``exec-escape`` -- a callable shipped through an executor seam
+  (``executor.map(fn, tasks)`` / ``pool.submit(fn, task)``) that cannot
+  cross a process boundary: lambdas and locally defined functions never
+  pickle, and module-level workers whose *default arguments* construct
+  unpicklable state (locks, open files, generators, ``Graph``/simulator
+  instances) pickle the reference but re-create divergent state per worker.
+* ``send-aliasing`` -- an MPC/CONGEST program (``program(vertex, state,
+  inbox) -> {neighbor: message}``) returning a mutable payload it retains a
+  reference to.  Serial exchange shares objects, so a later mutation
+  rewrites the "delivered" message; process exchange pickles at the
+  barrier, so the same code delivers the pre-mutation value.  Flagged:
+  returning ``state``/``inbox`` themselves, outbox values subscripting
+  ``state``/``inbox``, and locals stored into an outbox then mutated in
+  place after the send point (by source position; the runtime isolation
+  sanitizer in :mod:`repro.exec.isolation` is the behavioural complement
+  for the orders this walk cannot see).
+* ``global-write`` -- a function reachable from a pool worker (the
+  ``run_*_task``/``run_*_chunk`` workers plus anything shipped at a seam in
+  the same module, closed over same-module calls exactly like
+  ``memo_contracts``' fixpoint) that writes module globals or attributes of
+  module-level bindings.  Worker-side writes never propagate back, so the
+  serial and pooled runs read different state.
+
+All checks are stdlib-``ast`` only; like every rule here, a justified
+``# repro: allow[...]`` pragma documents the intentional exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+Pos = Tuple[int, int]
+
+#: substrings of a receiver-chain name that mark an executor ship site
+_SEAM_RECEIVER_MARKERS = ("executor", "pool")
+#: attribute calls that ship their first positional argument to workers
+_SEAM_METHODS = ("map", "submit")
+
+#: constructors whose results never survive a process boundary usefully
+_UNPICKLABLE_CONSTRUCTORS = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event",
+    "open", "Graph", "MPCSimulator", "CongestSimulator",
+})
+
+#: parameter names that mark a function as an MPC/CONGEST round program
+_PROGRAM_PARAMS = frozenset({"state", "inbox", "items", "local_items",
+                             "storage"})
+#: the subset whose entries must never be aliased into an outbox
+_SHARED_DICT_PARAMS = frozenset({"state", "inbox"})
+
+#: in-place mutators on lists/dicts/sets
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "sort", "reverse",
+})
+
+#: module-level worker functions that are pool entry points by convention
+_WORKER_NAME = re.compile(r"^run_\w*(task|chunk)$")
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The right-most identifier of a Name/Attribute chain, if any."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _chain_names(node: ast.AST) -> List[str]:
+    """All identifiers along a Name/Attribute/Call receiver chain."""
+    out: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            out.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            out.append(node.id)
+            return out
+        else:
+            return out
+
+
+def _is_seam_call(node: ast.Call) -> bool:
+    """Whether ``node`` is ``<something executor/pool-ish>.map/submit(...)``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _SEAM_METHODS:
+        return False
+    names = [name.lower() for name in _chain_names(func.value)]
+    return any(marker in name
+               for name in names for marker in _SEAM_RECEIVER_MARKERS)
+
+
+def _pos(node: ast.AST) -> Pos:
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+
+
+def _iter_function_defs(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_body_walk(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``fn``'s body without descending into nested function scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ------------------------------------------------------------- exec-escape
+@rule("exec-escape", family="parallel-safety",
+      summary="callable shipped to an executor must be module-level and "
+              "free of unpicklable captures")
+def check_exec_escape(source) -> Iterator[Finding]:
+    if source.tree is None:
+        return iter(())
+    out: List[Finding] = []
+    module_defs: Dict[str, ast.FunctionDef] = {}
+    imported: Set[str] = set()
+    for stmt in source.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module_defs[stmt.name] = stmt
+        elif isinstance(stmt, ast.Import):
+            imported.update(a.asname or a.name.split(".")[0]
+                            for a in stmt.names)
+        elif isinstance(stmt, ast.ImportFrom):
+            imported.update(a.asname or a.name for a in stmt.names)
+
+    def local_callables(fn: ast.AST) -> Set[str]:
+        """Names bound to nested defs / lambdas inside this scope."""
+        bound: Set[str] = set()
+        for node in _own_body_walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign) and isinstance(node.value,
+                                                             ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+        return bound
+
+    def param_names(fn: ast.AST) -> Set[str]:
+        args = fn.args
+        every = (list(args.posonlyargs) + list(args.args)
+                 + list(args.kwonlyargs))
+        names = {a.arg for a in every}
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        return names
+
+    def check_defaults(worker: ast.FunctionDef, seam: ast.Call) -> None:
+        args = worker.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d]
+        for default in defaults:
+            bad = None
+            if isinstance(default, (ast.Lambda, ast.GeneratorExp)):
+                bad = ("a lambda" if isinstance(default, ast.Lambda)
+                       else "a generator expression")
+            elif isinstance(default, ast.Call):
+                name = _terminal_name(default.func)
+                if name in _UNPICKLABLE_CONSTRUCTORS:
+                    bad = f"{name}(...)"
+            if bad is not None:
+                out.append(source.finding(
+                    "exec-escape", default,
+                    f"worker {worker.name!r} (shipped to an executor) "
+                    f"defaults an argument to {bad}; per-worker re-creation "
+                    "diverges from the serial shared instance"))
+
+    # seams can appear in any scope; track the stack of enclosing functions
+    # so locally-bound callables are recognised wherever the seam sits
+    def visit(node: ast.AST, scopes: List[ast.AST]) -> None:
+        if isinstance(node, ast.Call) and _is_seam_call(node) and node.args:
+            shipped = node.args[0]
+            if isinstance(shipped, ast.Lambda):
+                out.append(source.finding(
+                    "exec-escape", shipped,
+                    "lambda shipped to an executor: lambdas never pickle, "
+                    "so the pooled path crashes (or silently falls back to "
+                    "serial); use a module-level worker function"))
+            elif isinstance(shipped, ast.Name):
+                name = shipped.id
+                enclosing_params = {p for scope in scopes
+                                    for p in param_names(scope)}
+                if name in module_defs:
+                    check_defaults(module_defs[name], node)
+                elif name in imported or name in enclosing_params:
+                    pass  # module-level by reference / caller's choice
+                elif any(name in local_callables(scope) for scope in scopes):
+                    out.append(source.finding(
+                        "exec-escape", shipped,
+                        f"locally defined callable {name!r} shipped to an "
+                        "executor: closures never pickle; hoist it to "
+                        "module level"))
+            elif (isinstance(shipped, ast.Attribute)
+                  and isinstance(shipped.value, ast.Name)
+                  and shipped.value.id in ("self", "cls")):
+                out.append(source.finding(
+                    "exec-escape", shipped,
+                    f"bound method {ast.unparse(shipped)} shipped to an "
+                    "executor: it drags the whole instance across the "
+                    "process boundary; use a module-level worker"))
+        next_scopes = scopes
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            next_scopes = scopes + [node]
+        for child in ast.iter_child_nodes(node):
+            visit(child, next_scopes)
+
+    visit(source.tree, [])
+    return iter(out)
+
+
+# ---------------------------------------------------------- send-aliasing
+def _program_params(fn: ast.AST) -> Set[str]:
+    args = fn.args
+    names = {a.arg for a in list(args.posonlyargs) + list(args.args)
+             + list(args.kwonlyargs)}
+    return names & _PROGRAM_PARAMS
+
+
+def _send_events(fn: ast.AST) -> List[Tuple[ast.AST, Pos]]:
+    """``(payload_expr, send_position)`` pairs for every outbox value.
+
+    Handles the CONGEST dict shape (``return {nbr: msg}``, ``out[nbr] =
+    msg`` with ``out`` returned) and the MPC list shape (``return [(dest,
+    msg), ...]``, ``out.append((dest, msg))``).
+    """
+    returned_names: Set[str] = set()
+    events: List[Tuple[ast.AST, Pos]] = []
+
+    def payload_of_pair(node: ast.AST) -> Optional[ast.AST]:
+        if isinstance(node, ast.Tuple) and len(node.elts) == 2:
+            return node.elts[1]
+        return None
+
+    for node in _own_body_walk(fn):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        value = node.value
+        pos = _pos(node)
+        if isinstance(value, ast.Name):
+            returned_names.add(value.id)
+        elif isinstance(value, ast.Dict):
+            events.extend((v, pos) for v in value.values if v is not None)
+        elif isinstance(value, ast.DictComp):
+            events.append((value.value, pos))
+        elif isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                payload = payload_of_pair(elt)
+                if payload is not None:
+                    events.append((payload, pos))
+        elif isinstance(value, (ast.ListComp, ast.GeneratorExp)):
+            payload = payload_of_pair(value.elt)
+            if payload is not None:
+                events.append((payload, pos))
+
+    if returned_names:
+        for node in _own_body_walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in returned_names):
+                        events.append((node.value, _pos(node)))
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "append"
+                  and isinstance(node.func.value, ast.Name)
+                  and node.func.value.id in returned_names
+                  and node.args):
+                payload = payload_of_pair(node.args[0])
+                events.append((payload if payload is not None
+                               else node.args[0], _pos(node)))
+    return events
+
+
+def _mutation_positions(fn: ast.AST, name: str) -> List[Pos]:
+    """Source positions where ``name`` is mutated in place."""
+    out: List[Pos] = []
+    for node in _own_body_walk(fn):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name):
+            out.append(_pos(node))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == name):
+                    out.append(_pos(node))
+                elif (isinstance(node, ast.AugAssign)
+                      and isinstance(target, ast.Name)
+                      and target.id == name):
+                    out.append(_pos(node))
+    return out
+
+
+def _mutable_locals(fn: ast.AST) -> Set[str]:
+    """Names bound to list/dict/set literals, comprehensions or calls."""
+    out: Set[str] = set()
+    for node in _own_body_walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        mutable = isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                     ast.ListComp, ast.DictComp, ast.SetComp))
+        if (not mutable and isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("list", "dict", "set")):
+            mutable = True
+        if mutable:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
+def _retained_in_shared(fn: ast.AST, name: str,
+                        shared: Set[str]) -> Optional[ast.AST]:
+    """An assignment storing ``name`` into ``state[...]``/``inbox[...]``."""
+    for node in _own_body_walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (isinstance(node.value, ast.Name) and node.value.id == name):
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in shared):
+                return node
+    return None
+
+
+@rule("send-aliasing", family="parallel-safety",
+      summary="MPC/CONGEST program returns a mutable payload it retains a "
+              "reference to")
+def check_send_aliasing(source) -> Iterator[Finding]:
+    if source.tree is None or not source.in_packages("mpc", "congest"):
+        return iter(())
+    out: List[Finding] = []
+    for fn in _iter_function_defs(source.tree):
+        markers = _program_params(fn)
+        if not markers:
+            continue
+        shared = markers & _SHARED_DICT_PARAMS
+        mutable = _mutable_locals(fn)
+        for payload, send_pos in _send_events(fn):
+            if isinstance(payload, ast.Name) and payload.id in shared:
+                out.append(source.finding(
+                    "send-aliasing", payload,
+                    f"outbox value is the {payload.id!r} dict itself; the "
+                    "receiver would share (and see later mutations of) the "
+                    "sender's own state under serial exchange"))
+                continue
+            base = None
+            if isinstance(payload, ast.Subscript):
+                base = _terminal_name(payload.value)
+            elif (isinstance(payload, ast.Call)
+                  and isinstance(payload.func, ast.Attribute)
+                  and payload.func.attr == "get"):
+                base = _terminal_name(payload.func.value)
+            if base in shared:
+                out.append(source.finding(
+                    "send-aliasing", payload,
+                    f"outbox value aliases a {base!r} entry; serial "
+                    "exchange delivers the shared object, a process pool "
+                    "delivers a pickled copy -- send an immutable tuple or "
+                    "an explicit copy"))
+                continue
+            if not isinstance(payload, ast.Name):
+                continue
+            late = [p for p in _mutation_positions(fn, payload.id)
+                    if p > send_pos]
+            if late:
+                out.append(source.finding(
+                    "send-aliasing", payload,
+                    f"{payload.id!r} is mutated at line {late[0][0]} after "
+                    "being placed in the outbox; the mutation rewrites the "
+                    "serially-delivered message but not the pooled one"))
+                continue
+            if payload.id in mutable:
+                retained = _retained_in_shared(fn, payload.id, shared
+                                               or _SHARED_DICT_PARAMS)
+                if retained is not None:
+                    out.append(source.finding(
+                        "send-aliasing", payload,
+                        f"mutable local {payload.id!r} is both sent and "
+                        f"retained in shared state (line "
+                        f"{_pos(retained)[0]}); a later mutation through "
+                        "the retained reference rewrites the delivered "
+                        "message under serial exchange"))
+    return iter(out)
+
+
+# ------------------------------------------------------------ global-write
+@rule("global-write", family="parallel-safety",
+      summary="function reachable from a pool worker writes module-level "
+              "state")
+def check_global_write(source) -> Iterator[Finding]:
+    if source.tree is None:
+        return iter(())
+    out: List[Finding] = []
+    module_defs: Dict[str, ast.FunctionDef] = {}
+    module_bindings: Set[str] = set()
+    for stmt in source.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module_defs[stmt.name] = stmt
+        elif isinstance(stmt, ast.ClassDef):
+            module_bindings.add(stmt.name)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_bindings.add(target.id)
+        elif isinstance(stmt, ast.Import):
+            module_bindings.update(a.asname or a.name.split(".")[0]
+                                   for a in stmt.names)
+        elif isinstance(stmt, ast.ImportFrom):
+            module_bindings.update(a.asname or a.name for a in stmt.names)
+
+    # roots: conventionally-named workers + anything shipped at a seam here
+    roots = {name for name in module_defs if _WORKER_NAME.match(name)}
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call) and _is_seam_call(node) and node.args:
+            shipped = node.args[0]
+            if isinstance(shipped, ast.Name) and shipped.id in module_defs:
+                roots.add(shipped.id)
+    if not roots:
+        return iter(())
+
+    # same-module call closure, mirroring memo_contracts' fixpoint
+    calls = {name: {_terminal_name(n.func)
+                    for n in _own_body_walk(fn) if isinstance(n, ast.Call)
+                    if isinstance(n.func, ast.Name)} & set(module_defs)
+             for name, fn in module_defs.items()}
+    reachable = set(roots)
+    frontier = list(roots)
+    while frontier:
+        for callee in calls[frontier.pop()]:
+            if callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+
+    for name in sorted(reachable):
+        fn = module_defs[name]
+        locals_here: Set[str] = set()
+        for node in _own_body_walk(fn):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                locals_here.update(a.asname or a.name.split(".")[0]
+                                   for a in node.names)
+        args = fn.args
+        locals_here.update(a.arg for a in list(args.posonlyargs)
+                           + list(args.args) + list(args.kwonlyargs))
+        declared_global: Set[str] = set()
+        for node in _own_body_walk(fn):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Assign) and not isinstance(
+                    node, ast.AugAssign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        locals_here.add(target.id)
+        for node in _own_body_walk(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id in declared_global):
+                        out.append(source.finding(
+                            "global-write", node,
+                            f"pool-reachable {name!r} assigns module global "
+                            f"{target.id!r}; worker-side writes never "
+                            "propagate back to the parent process"))
+                    elif (isinstance(target, (ast.Attribute, ast.Subscript))
+                          and isinstance(target.value, ast.Name)
+                          and target.value.id in module_bindings
+                          and target.value.id not in locals_here):
+                        out.append(source.finding(
+                            "global-write", node,
+                            f"pool-reachable {name!r} writes "
+                            f"{ast.unparse(target)}: {target.value.id!r} is "
+                            "a module-level binding, so the write is lost "
+                            "in pooled execution"))
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr in _MUTATING_METHODS
+                  and isinstance(node.func.value, ast.Name)
+                  and node.func.value.id in module_bindings
+                  and node.func.value.id not in locals_here):
+                out.append(source.finding(
+                    "global-write", node,
+                    f"pool-reachable {name!r} mutates module-level "
+                    f"{node.func.value.id!r} in place "
+                    f"(.{node.func.attr}()); the mutation is worker-local "
+                    "under pooled execution"))
+    return iter(out)

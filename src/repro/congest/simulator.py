@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exec import PicklabilityProbe, contiguous_chunks, payload_words, resolve_executor
 from repro.exec.executor import Executor, ExecutorSpec
+from repro.exec.isolation import resolve_isolation
 from repro.exec.pool import run_vertex_chunk
 from repro.graph.backends import CSRBackend, _np
 from repro.graph.graph import Graph
@@ -64,11 +65,20 @@ class CongestSimulator:
     A process pool is only used when the program pickles (closures fall back
     to the sequential loop); per-vertex ``state`` keeps working either way
     because chunk results carry the state dicts back across the boundary.
+
+    ``isolation`` enables the serial-executor isolation sanitizer
+    (:mod:`repro.exec.isolation`): in-process outboxes are deep-copied at
+    the exchange barrier and the sender-side originals checksummed at the
+    next round / :meth:`close`, so a program mutating an already-sent
+    payload raises :class:`~repro.exec.isolation.IsolationViolation`
+    instead of silently diverging between serial and pooled rounds.
+    ``None`` (default) reads the ``REPRO_EXEC_ISOLATION`` environment flag.
     """
 
     def __init__(self, graph: Graph, counters: Optional[Counters] = None,
                  strict: bool = True, executor: ExecutorSpec = None,
-                 chunks: Optional[int] = None) -> None:
+                 chunks: Optional[int] = None,
+                 isolation: Optional[bool] = None) -> None:
         self.graph = graph
         self.counters = counters if counters is not None else Counters()
         self.strict = strict
@@ -79,6 +89,7 @@ class CongestSimulator:
                                and not isinstance(executor, Executor))
         self._chunks = chunks
         self._picklable = PicklabilityProbe()
+        self._guard = resolve_isolation(isolation, "congest")
         #: per-vertex local state dictionaries, freely usable by programs
         self.state: List[dict] = [dict() for _ in range(graph.n)]
         self._inboxes: List[Inbox] = [dict() for _ in range(graph.n)]
@@ -91,9 +102,18 @@ class CongestSimulator:
                 and not self._picklable(program):
             executor = None  # closures can't cross a process boundary
         n = self.graph.n
+        guard = self._guard
         if executor is None:
-            return [program(v, self.state[v], self._inboxes[v]) or {}
-                    for v in range(n)]
+            outboxes = []
+            for v in range(n):
+                out = program(v, self.state[v], self._inboxes[v]) or {}
+                if guard is not None:
+                    # capture at program return -- exactly where process
+                    # mode would pickle -- so a later vertex of the same
+                    # round cannot rewrite an already-submitted outbox
+                    out = guard.capture_outbox(v, out)
+                outboxes.append(out)
+            return outboxes
         spans = contiguous_chunks(
             n, self._chunks or executor.chunks_for(n))
         tasks = [(program, start, self.state[start:stop],
@@ -106,6 +126,11 @@ class CongestSimulator:
             # mutated state must travel back explicitly (process mode); in
             # serial mode these are the same dict objects, so this is a no-op
             self.state[start:stop] = chunk_state
+        if guard is not None and executor.parallelism == 1:
+            # a chunked-but-serial executor still shares objects; process
+            # pools isolate physically, so only parallelism == 1 needs this
+            outboxes = [guard.capture_outbox(v, out)
+                        for v, out in enumerate(outboxes)]
         return outboxes
 
     def _validate_outboxes(self, outboxes: List[Outbox]) -> int:
@@ -151,6 +176,10 @@ class CongestSimulator:
 
     def round(self, program: VertexProgram) -> None:
         """Run one synchronous round of ``program`` on every vertex."""
+        if self._guard is not None:
+            # payloads of the previous barrier must still digest identically:
+            # any divergence is a mutation-after-send
+            self._guard.verify()
         outboxes = self._execute_programs(program)
         total = self._validate_outboxes(outboxes)
 
@@ -199,8 +228,12 @@ class CongestSimulator:
         """Release executor workers this simulator created.
 
         A caller-supplied :class:`~repro.exec.Executor` instance is left
-        running -- it may be shared with other simulators.
+        running -- it may be shared with other simulators.  Under isolation
+        the last round's retained payloads are verified here, so mutations
+        after the final round still fail loudly.
         """
+        if self._guard is not None:
+            self._guard.verify()
         if self._executor is not None and self._owns_executor:
             self._executor.close()
 

@@ -57,6 +57,7 @@ from repro.graph.backends import compile_csr, require_numpy
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
 from repro.core.config import ParameterProfile
+from repro.utils.contracts import hot_path
 
 try:
     import numpy as _np
@@ -83,17 +84,20 @@ class MirroredMatching(Matching):
         super().__init__(ctx.n)
         self._ctx = ctx
 
+    @hot_path
     def add(self, u: int, v: int) -> None:
         super().add(u, v)
         self._ctx._on_match(u, v)
 
+    @hot_path
     def add_disjoint_edges(self, edges: Iterable[Edge]) -> int:
-        edges = list(edges)
+        edges = list(edges)  # repro: allow[hot-path-alloc] -- bounded by one phase's augmenting set, and the iterable is consumed twice (base class + mirror)
         count = super().add_disjoint_edges(edges)
         for u, v in edges:
             self._ctx._on_match(u, v)
         return count
 
+    @hot_path
     def remove(self, u: int, v: int) -> None:
         super().remove(u, v)
         self._ctx._on_unmatch(u, v)
@@ -163,6 +167,7 @@ class RepairContext:
             self.matching = MirroredMatching(self)
         return self.matching
 
+    @hot_path
     def _on_match(self, u: int, v: int) -> None:
         assert not self._attached, "the matching is frozen while a phase runs"
         default = self.label_default
@@ -175,6 +180,7 @@ class RepairContext:
         self.vlabel_arr[u] = default
         self.vlabel_arr[v] = default
 
+    @hot_path
     def _on_unmatch(self, u: int, v: int) -> None:
         assert not self._attached, "the matching is frozen while a phase runs"
         self.mate_arr[u] = -1
@@ -191,6 +197,7 @@ class RepairContext:
         return _np.flatnonzero(self.mate_arr < 0).tolist()
 
     # ------------------------------------------------------------ dirty edges
+    @hot_path
     def note_update(self, u: int, v: int, inserted: bool) -> None:
         """Record one *effective* edge change (the graph actually mutated)."""
         if self._keys is None:

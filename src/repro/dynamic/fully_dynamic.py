@@ -33,6 +33,7 @@ from repro.core.dynamic_boosting import WeakOracleBoostingFramework
 from repro.core.repair import RepairContext
 from repro.dynamic.interfaces import DynamicMatchingAlgorithm
 from repro.dynamic.weak_oracles import GreedyInducedWeakOracle, OMvWeakOracle
+from repro.utils.contracts import hot_path
 
 try:  # incremental repair needs numpy; fall back to rebuild mode without it
     import numpy as _np
@@ -135,6 +136,7 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
         return self._matching
 
     # ---------------------------------------------------------------- updates
+    @hot_path
     def update(self, update: Update) -> None:
         changed = self.dynamic_graph.apply(update)  # logs EMPTY padding too
         if changed and self.repair_context is not None:

@@ -36,10 +36,13 @@ from repro.exec.executor import (
     is_picklable,
     resolve_executor,
 )
+from repro.exec.isolation import IsolationGuard, IsolationViolation
 from repro.exec.words import payload_words
 
 __all__ = [
     "Executor",
+    "IsolationGuard",
+    "IsolationViolation",
     "PicklabilityProbe",
     "ProcessExecutor",
     "SerialExecutor",

@@ -19,6 +19,7 @@ import os
 import pickle
 import weakref
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 T = TypeVar("T")
@@ -39,29 +40,48 @@ def is_picklable(obj: object) -> bool:
     return True
 
 
+#: strong-cache capacity of :class:`PicklabilityProbe`; a simulator probes
+#: one or two program objects, so a handful of slots covers real usage
+_STRONG_CACHE_LIMIT = 8
+
+
 class PicklabilityProbe:
     """:func:`is_picklable` memoized per object (weakly keyed).
 
     A simulator asks the same question about the same program every round;
     actually pickling it each time would serialize everything the callable
-    captures once per round.  Objects that cannot be weakly referenced or
-    hashed are probed directly (correct, just uncached).
+    captures once per round.  Objects the weak cache rejects (slotted
+    instances without ``__weakref__``, unhashable callables) fall back to a
+    small bounded strong-reference LRU keyed by ``id`` -- identity-checked
+    against the stored object so a recycled id can never serve a stale
+    answer -- instead of being re-pickled every round.
     """
 
     def __init__(self) -> None:
         self._cache: "weakref.WeakKeyDictionary[object, bool]" = (
             weakref.WeakKeyDictionary())
+        # id -> (object, result); the stored strong reference both pins the
+        # id and lets the lookup verify identity with ``is``
+        self._strong: "OrderedDict[int, tuple]" = OrderedDict()
 
     def __call__(self, obj: object) -> bool:
         try:
             return self._cache[obj]
         except (KeyError, TypeError):
             pass
+        key = id(obj)
+        hit = self._strong.get(key)
+        if hit is not None and hit[0] is obj:
+            self._strong.move_to_end(key)
+            return hit[1]
         result = is_picklable(obj)
         try:
             self._cache[obj] = result
         except TypeError:
-            pass
+            self._strong[key] = (obj, result)
+            self._strong.move_to_end(key)
+            while len(self._strong) > _STRONG_CACHE_LIMIT:
+                self._strong.popitem(last=False)
         return result
 
 

@@ -33,6 +33,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence,
 
 from repro.exec import PicklabilityProbe, contiguous_chunks, payload_words, resolve_executor
 from repro.exec.executor import Executor, ExecutorSpec
+from repro.exec.isolation import resolve_isolation
 from repro.exec.pool import run_machine_chunk
 from repro.instrumentation.counters import Counters
 
@@ -70,12 +71,22 @@ class MPCSimulator:
     chunks:
         Override how many contiguous machine chunks a round is split into
         (default: the executor's own sizing).
+    isolation:
+        Run the serial-executor isolation sanitizer
+        (:mod:`repro.exec.isolation`): in-process outboxes are deep-copied
+        at the exchange barrier (matching process-mode pickling semantics)
+        and the sender-side originals are checksummed at the next round /
+        ``close()``, so mutation-after-send raises
+        :class:`~repro.exec.isolation.IsolationViolation` instead of
+        silently diverging once rounds run in a pool.  ``None`` (default)
+        reads the ``REPRO_EXEC_ISOLATION`` environment flag.
     """
 
     def __init__(self, num_machines: int, memory_per_machine: Optional[int] = None,
                  counters: Optional[Counters] = None, strict: bool = True,
                  executor: ExecutorSpec = None,
-                 chunks: Optional[int] = None) -> None:
+                 chunks: Optional[int] = None,
+                 isolation: Optional[bool] = None) -> None:
         if num_machines <= 0:
             raise ValueError("need at least one machine")
         self.num_machines = num_machines
@@ -89,6 +100,7 @@ class MPCSimulator:
                                and not isinstance(executor, Executor))
         self._chunks = chunks
         self._picklable = PicklabilityProbe()
+        self._guard = resolve_isolation(isolation, "mpc")
         # local storage of each machine: a list of payloads, each sized in
         # words by payload_words (unknown objects count 1)
         self.storage: List[List[object]] = [[] for _ in range(num_machines)]
@@ -115,9 +127,18 @@ class MPCSimulator:
         if executor is not None and executor.parallelism > 1 \
                 and not self._picklable(program):
             executor = None  # closures can't cross a process boundary
+        guard = self._guard
         if executor is None:
-            return [list(program(machine_id, self.storage[machine_id]))
-                    for machine_id in range(self.num_machines)]
+            outboxes = []
+            for machine_id in range(self.num_machines):
+                out = list(program(machine_id, self.storage[machine_id]))
+                if guard is not None:
+                    # capture at program return -- exactly where process
+                    # mode would pickle -- so a later program of the same
+                    # round cannot rewrite an already-submitted outbox
+                    out = guard.capture_messages(machine_id, out)
+                outboxes.append(out)
+            return outboxes
         spans = contiguous_chunks(
             self.num_machines,
             self._chunks or executor.chunks_for(self.num_machines))
@@ -126,6 +147,11 @@ class MPCSimulator:
         outboxes: List[List[Message]] = []  # repro: allow[word-accounting-bypass] -- collection only: round() sizes every payload via payload_words at the barrier before delivery
         for chunk_result in executor.map(run_machine_chunk, tasks):
             outboxes.extend(chunk_result)
+        if guard is not None and executor.parallelism == 1:
+            # a chunked-but-serial executor still shares objects; process
+            # pools isolate physically, so only parallelism == 1 needs this
+            outboxes = [guard.capture_messages(machine_id, out)
+                        for machine_id, out in enumerate(outboxes)]
         return outboxes
 
     def round(self,
@@ -139,6 +165,10 @@ class MPCSimulator:
         (:func:`~repro.exec.payload_words`; unknown objects count 1) against
         the budget ``S``, and their total is charged to ``mpc_messages``.
         """
+        if self._guard is not None:
+            # payloads of the previous barrier must still digest identically:
+            # any divergence is a mutation-after-send
+            self._guard.verify()
         outboxes = self._execute_programs(program)
 
         # barrier: merge outboxes in machine order (deterministic regardless
@@ -227,8 +257,12 @@ class MPCSimulator:
         """Release executor workers this simulator created.
 
         A caller-supplied :class:`~repro.exec.Executor` instance is left
-        running -- it may be shared with other simulators.
+        running -- it may be shared with other simulators.  Under isolation
+        the last round's retained payloads are verified here, so mutations
+        after the final round still fail loudly.
         """
+        if self._guard is not None:
+            self._guard.verify()
         if self._executor is not None and self._owns_executor:
             self._executor.close()
 

@@ -33,6 +33,51 @@ from typing import Callable, Dict, Tuple
 #: decorator by name, the runtime registry by this attribute
 _MARKER = "__invalidates__"
 
+#: attribute set by :func:`hot_path`; same split as above -- the AST rule
+#: (``hot-path-alloc``) matches the decorator by name, the runtime registry
+#: reads the attribute
+_HOT_MARKER = "__hot_path__"
+
+
+def hot_path(fn: Callable) -> Callable:
+    """Declare that this function runs on a per-update latency budget.
+
+    The dynamic maintainers promise O(1) (amortized poly(1/eps)) work per
+    update; one stray ``list(...)`` materialization or per-call NumPy
+    allocation silently turns that into O(n) and shows up as a latency-gate
+    regression long after the offending commit.  Marking the update-path
+    functions with ``@hot_path`` lets the static checker (rule
+    ``hot-path-alloc``) reject O(n) constructs -- ``list``/``dict``/``set``
+    materialization of arguments, Python-level loops over NumPy arrays,
+    per-call ``np.asarray``/``np.zeros``-style allocations -- at lint time.
+
+    Zero-cost at runtime (only tags the function); must be the *innermost*
+    decorator so the tag lands on the actual function object.
+    """
+    setattr(fn, _HOT_MARKER, True)
+    return fn
+
+
+def is_hot_path(fn: Callable) -> bool:
+    """Whether ``fn`` (or its ``__func__``) carries the :func:`hot_path` tag."""
+    return bool(getattr(getattr(fn, "__func__", fn), _HOT_MARKER, False))
+
+
+def declared_hot_paths(cls: type) -> Tuple[str, ...]:
+    """Sorted method names of ``cls`` (incl. bases) declared :func:`hot_path`.
+
+    The completeness counterpart of :func:`declared_mutators`: the latency
+    tests iterate this registry so a newly-declared hot path cannot silently
+    miss behavioural coverage.
+    """
+    out = set()
+    for klass in cls.__mro__:
+        for name, member in vars(klass).items():
+            fn = getattr(member, "__func__", member)  # un-wrap staticmethod &c.
+            if getattr(fn, _HOT_MARKER, False):
+                out.add(name)
+    return tuple(sorted(out))
+
 
 def invalidates(*attrs: str) -> Callable:
     """Declare that this mutating method invalidates the named attributes.

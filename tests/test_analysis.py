@@ -9,6 +9,9 @@ codes, the JSON report schema round-trip, and the runtime
 """
 
 import json
+import os
+import subprocess
+import sys
 import textwrap
 
 import pytest
@@ -25,12 +28,20 @@ from repro.analysis import (
 )
 from repro.analysis.baseline import stale_fingerprints
 from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import find_repo_root
 from repro.analysis.sanitizer import (
     canonical_bytes,
     compare_record_sets,
     normalize_record,
+    run_sanitizer,
 )
-from repro.utils.contracts import declared_mutators, invalidates
+from repro.utils.contracts import (
+    declared_hot_paths,
+    declared_mutators,
+    hot_path,
+    invalidates,
+    is_hot_path,
+)
 
 
 def plant(tmp_path, rel, text):
@@ -277,6 +288,302 @@ class TestRepairJournalFamily:
         assert new_rules(lint(tmp_path)) == set()
 
 
+# ------------------------------------------------------------- exec-escape
+class TestExecEscapeFamily:
+    def test_lambda_at_seam_detected(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            def run_all(executor, tasks):
+                return executor.map(lambda t: t + 1, tasks)
+        """)
+        assert "exec-escape" in new_rules(lint(tmp_path))
+
+    def test_local_closure_at_seam_detected(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            def run_all(executor, tasks):
+                def work(t):
+                    return t + 1
+                return executor.map(work, tasks)
+        """)
+        assert "exec-escape" in new_rules(lint(tmp_path))
+
+    def test_bound_method_at_seam_detected(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            class Driver:
+                def run(self, pool, tasks):
+                    return pool.map(self.work, tasks)
+        """)
+        assert "exec-escape" in new_rules(lint(tmp_path))
+
+    def test_unpicklable_default_on_shipped_worker_detected(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            import threading
+
+            def run_item_task(item, lock=threading.Lock()):
+                return item
+
+            def dispatch(executor, tasks):
+                return executor.map(run_item_task, tasks)
+        """)
+        assert "exec-escape" in new_rules(lint(tmp_path))
+
+    def test_module_level_and_imported_workers_are_clean(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            from repro.congest.chunks import run_vertex_chunk
+
+            def run_item_task(item, scale=2):
+                return item * scale
+
+            def dispatch(executor, tasks):
+                a = executor.map(run_item_task, tasks)
+                b = executor.map(run_vertex_chunk, tasks)
+                return a, b
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_pragma_suppresses(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            def run_all(executor, tasks):
+                return executor.map(
+                    lambda t: t + 1,  # repro: allow[exec-escape] -- serial-only test helper
+                    tasks)
+        """)
+        report = lint(tmp_path)
+        assert report.new_findings == []
+        assert report.suppressed_count == 1
+
+
+# ---------------------------------------------------------- send-aliasing
+class TestSendAliasingFamily:
+    def test_returning_shared_dict_itself_detected(self, tmp_path):
+        plant(tmp_path, "congest/fx.py", """\
+            def program(v, state, inbox):
+                return {1: state}
+        """)
+        assert "send-aliasing" in new_rules(lint(tmp_path))
+
+    def test_payload_aliasing_state_entry_detected(self, tmp_path):
+        plant(tmp_path, "congest/fx.py", """\
+            def program(v, state, inbox):
+                return {1: state["best"]}
+        """)
+        assert "send-aliasing" in new_rules(lint(tmp_path))
+
+    def test_payload_from_inbox_get_detected(self, tmp_path):
+        plant(tmp_path, "congest/fx.py", """\
+            def program(v, state, inbox):
+                return {1: inbox.get(0)}
+        """)
+        assert "send-aliasing" in new_rules(lint(tmp_path))
+
+    def test_mutation_after_send_detected(self, tmp_path):
+        # the seeded mutation the runtime isolation sanitizer also catches
+        # (tests/test_isolation.py runs the behavioural twin of this code)
+        plant(tmp_path, "congest/fx.py", """\
+            def program(v, state, inbox):
+                out = {}
+                payload = [v]
+                out[1] = payload
+                payload.append(v + 1)
+                return out
+        """)
+        assert "send-aliasing" in new_rules(lint(tmp_path))
+
+    def test_sent_and_retained_mutable_local_detected(self, tmp_path):
+        plant(tmp_path, "mpc/fx.py", """\
+            def shuffle(machine_id, items, state):
+                msgs = [machine_id]
+                state["pending"] = msgs
+                return [(1, msgs)]
+        """)
+        assert "send-aliasing" in new_rules(lint(tmp_path))
+
+    def test_fresh_tuples_and_copies_are_clean(self, tmp_path):
+        plant(tmp_path, "congest/fx.py", """\
+            def program(v, state, inbox):
+                out = {}
+                out[1] = (v, state["round"])
+                out[2] = tuple(inbox.get(0, ()))
+                return out
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_rule_scoped_to_mpc_and_congest(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def program(v, state, inbox):
+                return {1: state["best"]}
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_pragma_suppresses(self, tmp_path):
+        plant(tmp_path, "congest/fx.py", """\
+            def program(v, state, inbox):
+                return {1: state["best"]}  # repro: allow[send-aliasing] -- value is a frozen tuple by construction
+        """)
+        report = lint(tmp_path)
+        assert report.new_findings == []
+        assert report.suppressed_count == 1
+
+
+# ------------------------------------------------------------ global-write
+class TestGlobalWriteFamily:
+    def test_worker_assigning_declared_global_detected(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            _TOTAL = 0
+
+            def run_fill_task(item):
+                global _TOTAL
+                _TOTAL = item
+        """)
+        assert "global-write" in new_rules(lint(tmp_path))
+
+    def test_reachable_callee_mutating_module_dict_detected(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            _CACHE = {}
+
+            def _record(item):
+                _CACHE[item] = True
+
+            def run_fill_task(item):
+                _record(item)
+                return item
+        """)
+        assert "global-write" in new_rules(lint(tmp_path))
+
+    def test_seam_shipped_function_is_a_root(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            _SEEN = []
+
+            def note(item):
+                _SEEN.append(item)
+                return item
+
+            def dispatch(executor, tasks):
+                return executor.map(note, tasks)
+        """)
+        assert "global-write" in new_rules(lint(tmp_path))
+
+    def test_local_writes_and_unreachable_writers_are_clean(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            _CACHE = {}
+
+            def warm(key):
+                # module-state write, but not reachable from any worker
+                _CACHE[key] = True
+
+            def run_calc_task(item):
+                acc = {}
+                acc[item] = True
+                return acc
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_pragma_suppresses(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            _TOTAL = 0
+
+            def run_fill_task(item):
+                global _TOTAL
+                _TOTAL = item  # repro: allow[global-write] -- worker-local counter, merged by the parent
+        """)
+        report = lint(tmp_path)
+        assert report.new_findings == []
+        assert report.suppressed_count == 1
+
+
+# ---------------------------------------------------------- hot-path-alloc
+class TestHotPathAllocFamily:
+    def test_argument_materialization_detected(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            from repro.utils.contracts import hot_path
+
+            @hot_path
+            def note_update(self, edges):
+                vals = list(edges)
+                return vals
+        """)
+        assert "hot-path-alloc" in new_rules(lint(tmp_path))
+
+    def test_numpy_allocation_detected(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            import numpy as np
+
+            from repro.utils.contracts import hot_path
+
+            @hot_path
+            def note_update(self, xs):
+                return np.asarray(xs)
+        """)
+        assert "hot-path-alloc" in new_rules(lint(tmp_path))
+
+    def test_python_loop_over_array_detected(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            from repro.utils.contracts import hot_path
+
+            @hot_path
+            def scan(self, mate_arr):
+                total = 0
+                for v in mate_arr:
+                    total += v
+                return total
+        """)
+        assert "hot-path-alloc" in new_rules(lint(tmp_path))
+
+    def test_o1_body_and_undecorated_functions_are_clean(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            from repro.utils.contracts import hot_path
+
+            @hot_path
+            def note_update(self, v):
+                self._count += 1
+                self._last = v
+                return self._count
+
+            def cold_path(edges):
+                return list(edges)
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_pragma_suppresses(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            from repro.utils.contracts import hot_path
+
+            @hot_path
+            def note_update(self, edges):
+                edges = list(edges)  # repro: allow[hot-path-alloc] -- bounded by one phase's augmenting set
+                return edges
+        """)
+        report = lint(tmp_path)
+        assert report.new_findings == []
+        assert report.suppressed_count == 1
+
+
+# --------------------------------------- acceptance: parallel-safety family
+def test_parallel_safety_family_detects_planted_fixtures(tmp_path):
+    plant(tmp_path, "exec/escape_fx.py", """\
+        def run_all(executor, tasks):
+            return executor.map(lambda t: t + 1, tasks)
+    """)
+    plant(tmp_path, "congest/alias_fx.py", """\
+        def program(v, state, inbox):
+            return {1: state["best"]}
+    """)
+    plant(tmp_path, "exec/global_fx.py", """\
+        _CACHE = {}
+
+        def run_fill_task(item):
+            _CACHE[item] = True
+    """)
+    plant(tmp_path, "core/hot_fx.py", """\
+        from repro.utils.contracts import hot_path
+
+        @hot_path
+        def note_update(self, edges):
+            return list(edges)
+    """)
+    assert {"exec-escape", "send-aliasing", "global-write",
+            "hot-path-alloc"} <= new_rules(lint(tmp_path))
+
+
 # ---------------------------------------------------- acceptance: all four
 def test_all_four_families_detect_planted_fixtures(tmp_path):
     plant(tmp_path, "core/hash_fx.py", """\
@@ -497,7 +804,9 @@ class TestCLI:
         out = capsys.readouterr().out
         for rule_id in ("set-iteration", "word-accounting-bypass",
                         "memo-invalidation-missing",
-                        "mirror-write-outside-funnel"):
+                        "mirror-write-outside-funnel",
+                        "exec-escape", "send-aliasing", "global-write",
+                        "hot-path-alloc"):
             assert rule_id in out
 
     def test_bad_path_is_usage_error(self, tmp_path, capsys):
@@ -509,6 +818,74 @@ class TestCLI:
         assert cli_main(["lint", "--check", "--baseline", baseline,
                          target]) == 1
         capsys.readouterr()
+
+
+# ------------------------------------------------------- CLI: subset modes
+class TestCLISubsetModes:
+    OFFENDING = """\
+        def f(s: set):
+            for v in s:
+                print(v)
+    """
+
+    def test_paths_subset_lints_only_named_files(self, tmp_path, capsys):
+        dirty = plant(tmp_path, "core/fx_a.py", self.OFFENDING)
+        plant(tmp_path, "core/fx_b.py", self.OFFENDING)
+        baseline = str(tmp_path / "baseline.json")
+        # a subset run sees only the named file's findings
+        assert cli_main(["--check", "--baseline", baseline,
+                         "--paths", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "fx_a.py" in out and "fx_b.py" not in out
+
+    def test_paths_subset_restricts_stale_check(self, tmp_path, capsys):
+        fixed = plant(tmp_path, "core/fx_a.py", self.OFFENDING)
+        still_dirty = plant(tmp_path, "core/fx_b.py", self.OFFENDING)
+        baseline = str(tmp_path / "baseline.json")
+        assert cli_main(["--update-baseline", "--baseline", baseline,
+                         str(tmp_path / "repro")]) == 0
+        fixed.write_text("def f():\n    return 1\n", encoding="utf-8")
+        # fx_a's baseline entry is now stale, but a subset run over fx_b
+        # must not demand its retirement (fx_a was never scanned) ...
+        assert cli_main(["--check", "--baseline", baseline,
+                         "--paths", str(still_dirty)]) == 0
+        capsys.readouterr()
+        # ... while a subset run over fx_a itself surfaces the staleness
+        assert cli_main(["--check", "--baseline", baseline,
+                         "--paths", str(fixed)]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def _git(self, cwd, *args):
+        subprocess.run(["git", "-c", "user.email=dev@example.org",
+                        "-c", "user.name=dev", *args],
+                       cwd=str(cwd), check=True, capture_output=True)
+
+    def test_changed_mode_lints_the_diff(self, tmp_path, monkeypatch,
+                                         capsys):
+        path = plant(tmp_path, "core/fx.py", "def f():\n    return 1\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.setattr("repro.analysis.cli.find_repo_root",
+                            lambda: tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        # clean working tree: nothing to lint, exit 0
+        assert cli_main(["--changed", "--check", "--baseline",
+                         baseline]) == 0
+        assert "nothing to lint" in capsys.readouterr().out
+        # dirty the file: --changed lints exactly it and gates
+        path.write_text(textwrap.dedent(self.OFFENDING), encoding="utf-8")
+        assert cli_main(["--changed", "--check", "--baseline",
+                         baseline]) == 1
+        assert "set-iteration" in capsys.readouterr().out
+
+    def test_changed_mode_without_git_is_usage_error(self, tmp_path,
+                                                     monkeypatch, capsys):
+        monkeypatch.setattr("repro.analysis.cli.find_repo_root",
+                            lambda: tmp_path)  # not a git checkout
+        assert cli_main(["--changed", "--check"]) == 2
+        assert "--changed needs a git checkout" in \
+            capsys.readouterr().err
 
 
 # ------------------------------------------------------- sanitizer helpers
@@ -535,6 +912,48 @@ class TestSanitizerNormalization:
     def test_count_mismatch_reported(self):
         ok, diff = compare_record_sets([self.RECORD], [])
         assert not ok and "record count" in diff
+
+
+# --------------------------------------------- sanitizer: axis isolation
+TOY_SCENARIO = '''\
+"""Hash-order canary scenario for the sanitizer axis-isolation test."""
+
+from repro.bench.registry import register
+
+
+@register("toy_hash_order_probe", suite="test",
+          description="set-iteration order leaked into a counter")
+def toy_hash_order_probe(spec, counters):
+    # string hashes depend on PYTHONHASHSEED (int hashes do not), so the
+    # enumerate order below -- folded order-sensitively into the counter --
+    # differs between hash seeds but not between worker counts
+    toks = {f"tok-{i}" for i in range(128)}
+    sig = 0
+    for pos, tok in enumerate(toks):
+        sig = (sig * 1000003 + (pos + 1) * int(tok.split("-")[1])) % (2**31)
+    return {"order_signature": float(sig)}
+'''
+
+
+def test_sanitizer_isolates_the_failing_axis(tmp_path, monkeypatch):
+    """A hash-order bug must be blamed on the PYTHONHASHSEED axis alone.
+
+    The sanitizer compares each axis against the same baseline run, so a
+    seed-dependent scenario fails the hash-seed variant while the --jobs
+    variant (same hash seed) still matches -- the failure report must name
+    the axis that actually broke, not both.
+    """
+    module = tmp_path / "toy_scenarios.py"
+    module.write_text(TOY_SCENARIO, encoding="utf-8")
+    monkeypatch.setenv("REPRO_BENCH_EXTRA_MODULES", str(module))
+    result = run_sanitizer("toy_hash_order_probe", seed=0,
+                           repo_root=find_repo_root(), timeout=240.0)
+    assert not result.ok, result.render()
+    assert any("PYTHONHASHSEED=1" in failure for failure in result.failures)
+    assert any("order_signature" in failure for failure in result.failures)
+    # the --jobs axis stayed clean: compared, and absent from the failures
+    assert all("--jobs 2" not in failure for failure in result.failures)
+    assert any("--jobs 2" in label for label in result.compared)
 
 
 # ------------------------------------------------------- runtime contracts
@@ -571,3 +990,71 @@ class TestInvalidatesRegistry:
 
         assert mutate.__invalidates__ == ("_flag",)
         assert mutate.__name__ == "mutate"  # no wrapper object
+
+
+class TestHotPathRegistry:
+    def test_decorator_tags_without_wrapping(self):
+        @hot_path
+        def update(self, v):
+            return v
+
+        assert is_hot_path(update)
+        assert update.__name__ == "update"  # no wrapper object
+
+    def test_registry_walks_mro(self):
+        class Base:
+            @hot_path
+            def tick(self):
+                pass
+
+        class Child(Base):
+            @hot_path
+            def tock(self):
+                pass
+
+            def cold(self):
+                pass
+
+        assert declared_hot_paths(Base) == ("tick",)
+        assert declared_hot_paths(Child) == ("tick", "tock")
+        assert not is_hot_path(Child.cold)
+        assert is_hot_path(Child().tick)  # bound methods unwrap
+
+    def test_repair_hot_paths_are_declared(self):
+        # the per-update path the latency gate measures is tagged, so the
+        # hot-path-alloc rule actually covers it
+        from repro.core.repair import MirroredMatching, RepairContext
+
+        assert "note_update" in declared_hot_paths(RepairContext)
+        assert {"add", "remove"} <= set(declared_hot_paths(MirroredMatching))
+
+
+# ------------------------------------------------------ import & packaging
+def test_analysis_imports_without_numpy():
+    """repro.analysis (the repro-lint entry point) must stay stdlib-only."""
+    code = textwrap.dedent("""\
+        import sys
+        sys.modules["numpy"] = None  # poison: any numpy import now fails
+        import repro.analysis
+        from repro.analysis.registry import all_rules
+        ids = {entry.id for entry in all_rules()}
+        need = {"exec-escape", "send-aliasing", "global-write",
+                "hot-path-alloc"}
+        missing = need - ids
+        assert not missing, f"missing rules: {missing}"
+        print("ok")
+    """)
+    root = find_repo_root()
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "ok" in proc.stdout
+
+
+def test_setup_declares_repro_lint_entry_point():
+    text = (find_repo_root() / "setup.py").read_text(encoding="utf-8")
+    assert "repro-lint=repro.analysis.cli:main" in text

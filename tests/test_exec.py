@@ -132,6 +132,53 @@ class TestExecutors:
         assert len(calls) == 1          # second answer came from the cache
         assert probe(lambda x: x) is False
 
+    def test_probe_strong_cache_covers_non_weakrefable(self, monkeypatch):
+        # slotted instances without __weakref__ reject weak keys; they must
+        # still be memoized (bounded strong LRU) instead of re-pickled
+        # every round
+        import repro.exec.executor as executor_mod
+        from repro.exec import PicklabilityProbe
+
+        class Slotted:
+            __slots__ = ("x",)
+
+            def __init__(self, x):
+                self.x = x
+
+            def __call__(self, task):
+                return self.x
+
+        calls = []
+        real = executor_mod.is_picklable
+        monkeypatch.setattr(executor_mod, "is_picklable",
+                            lambda obj: (calls.append(obj), real(obj))[1])
+        probe = PicklabilityProbe()
+        program = Slotted(1)
+        first = probe(program)
+        assert probe(program) is first
+        assert len(calls) == 1          # strong cache answered the repeat
+
+    def test_probe_strong_cache_is_bounded_and_identity_checked(self):
+        from repro.exec import PicklabilityProbe
+        from repro.exec.executor import _STRONG_CACHE_LIMIT
+
+        class Slotted:
+            __slots__ = ()
+
+            def __call__(self, task):
+                return task
+
+        probe = PicklabilityProbe()
+        kept = [Slotted() for _ in range(_STRONG_CACHE_LIMIT + 3)]
+        for obj in kept:
+            probe(obj)
+        assert len(probe._strong) == _STRONG_CACHE_LIMIT  # LRU evicts
+        # identity check: a different object reusing an evicted id can
+        # never be served a stale answer (the stored object is compared
+        # with ``is``)
+        survivor = kept[-1]
+        assert probe._strong[id(survivor)][0] is survivor
+
 
 # ------------------------------------------------------- chunked MPC rounds
 def _mpc_echo_program(machine_id, items):

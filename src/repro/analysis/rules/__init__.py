@@ -6,5 +6,6 @@ from repro.analysis.rules import (  # noqa: F401  (imports register rules)
     memo_contracts,
     mirror_writes,
     parallel_safety,
+    recovery_paths,
     word_accounting,
 )

@@ -39,6 +39,8 @@ from repro.exec.pool import run_vertex_chunk
 from repro.graph.backends import CSRBackend, _np
 from repro.graph.graph import Graph
 from repro.instrumentation.counters import Counters
+from repro.resilience import faults as faults_mod
+from repro.resilience.faults import FaultPlan
 
 Inbox = Dict[int, object]          # sender -> message
 Outbox = Dict[int, object]         # receiver -> message
@@ -73,12 +75,28 @@ class CongestSimulator:
     payload raises :class:`~repro.exec.isolation.IsolationViolation`
     instead of silently diverging between serial and pooled rounds.
     ``None`` (default) reads the ``REPRO_EXEC_ISOLATION`` environment flag.
+
+    ``fault_plan`` injects deterministic message faults at the exchange
+    barrier (:class:`~repro.resilience.faults.FaultPlan`): a validated
+    message can be dropped, duplicated, or a vertex's inbox reordered.
+    Because a CONGEST inbox keys on sender, a same-round duplicate would be
+    an invisible dict overwrite -- so a duplicate is modelled as a *delayed
+    redelivery*: the copy lands at the start of the **next** round, before
+    fresh messages, so a fresh message from the same sender overwrites the
+    stale copy and duplicate delivery can resurface old state but never
+    mask new state.  Copies still undelivered at :meth:`close` are tallied
+    as expired.  Injections count as ``congest_faults_dropped`` /
+    ``congest_faults_duplicated`` / ``congest_faults_redelivered`` /
+    ``congest_faults_reordered`` / ``congest_faults_expired``; the
+    ``congest_messages`` cost counter keeps charging what the programs
+    *sent* -- faults model the network, not the algorithm's cost.
     """
 
     def __init__(self, graph: Graph, counters: Optional[Counters] = None,
                  strict: bool = True, executor: ExecutorSpec = None,
                  chunks: Optional[int] = None,
-                 isolation: Optional[bool] = None) -> None:
+                 isolation: Optional[bool] = None,
+                 fault_plan: Optional["FaultPlan"] = None) -> None:
         self.graph = graph
         self.counters = counters if counters is not None else Counters()
         self.strict = strict
@@ -90,6 +108,10 @@ class CongestSimulator:
         self._chunks = chunks
         self._picklable = PicklabilityProbe()
         self._guard = resolve_isolation(isolation, "congest")
+        self._faults = fault_plan
+        self._fault_round = 0
+        #: duplicates scheduled for stale redelivery: (dest, sender, message)
+        self._delayed: List[Tuple[int, int, object]] = []
         #: per-vertex local state dictionaries, freely usable by programs
         self.state: List[dict] = [dict() for _ in range(graph.n)]
         self._inboxes: List[Inbox] = [dict() for _ in range(graph.n)]
@@ -184,9 +206,13 @@ class CongestSimulator:
         total = self._validate_outboxes(outboxes)
 
         new_inboxes: List[Inbox] = [dict() for _ in range(self.graph.n)]
-        for v, out in enumerate(outboxes):
-            for dest, message in out.items():
-                new_inboxes[dest][v] = message
+        if self._faults is not None:
+            self._deliver_with_faults(outboxes, new_inboxes)
+        else:
+            for v, out in enumerate(outboxes):
+                for dest, message in out.items():
+                    new_inboxes[dest][v] = message
+        self._fault_round += 1
         self._inboxes = new_inboxes
         self.counters.add("congest_rounds")
         self.counters.add("congest_messages", total)
@@ -194,6 +220,52 @@ class CongestSimulator:
     def run(self, program: VertexProgram, rounds: int) -> None:
         for _ in range(rounds):
             self.round(program)
+
+    def _deliver_with_faults(self, outboxes: List[Outbox],
+                             new_inboxes: List[Inbox]) -> None:
+        """Deliver the round's (already validated) messages per the plan.
+
+        Stale duplicates scheduled last round land first, so a fresh
+        message from the same sender overwrites them via plain dict
+        insertion.  Drops remove a message after validation/sizing (the
+        network lost it; the program still paid to send it).  Reordering
+        permutes a destination inbox's insertion order -- programs that
+        iterate ``inbox.items()`` see the permuted order.  The sender-side
+        originals an :class:`~repro.exec.isolation.IsolationGuard` retains
+        are untouched: faults model the network, not the program.
+        """
+        import copy as _copy
+
+        plan = self._faults
+        round_index = self._fault_round
+        for dest, sender, message in self._delayed:
+            self.counters.add("congest_faults_redelivered")
+            new_inboxes[dest][sender] = message  # repro: allow[word-accounting-bypass] -- delivery only: every payload here was sized by _validate_outboxes in the round that first sent it
+        self._delayed = []
+        for v, out in enumerate(outboxes):
+            for slot, (dest, message) in enumerate(out.items()):
+                action = plan.message_fault("congest", round_index, v,
+                                            dest, slot)
+                if action == faults_mod.DROP:
+                    self.counters.add("congest_faults_dropped")
+                    continue
+                new_inboxes[dest][v] = message
+                if action == faults_mod.DUPLICATE:
+                    # an inbox keys on sender, so a same-round copy would
+                    # be an invisible overwrite: schedule a stale
+                    # redelivery for the next round instead
+                    self.counters.add("congest_faults_duplicated")
+                    self._delayed.append((dest, v, _copy.deepcopy(message)))
+        for dest in range(self.graph.n):
+            inbox = new_inboxes[dest]
+            if len(inbox) > 1 and plan.reorders_round("congest", round_index,
+                                                      dest):
+                self.counters.add("congest_faults_reordered")
+                senders = list(inbox)
+                order = plan.permutation("congest", round_index, dest,
+                                         len(senders))
+                new_inboxes[dest] = {senders[j]: inbox[senders[j]]
+                                     for j in order}
 
     # -------------------------------------------------------------- utilities
     def charge_component_aggregation(self, component_size: int) -> None:
@@ -234,6 +306,11 @@ class CongestSimulator:
         """
         if self._guard is not None:
             self._guard.verify()
+        if self._delayed:
+            # duplicates still in flight when the simulation ends: the
+            # network never delivered them (a fault in the final round)
+            self.counters.add("congest_faults_expired", len(self._delayed))
+            self._delayed = []
         if self._executor is not None and self._owns_executor:
             self._executor.close()
 

@@ -93,6 +93,7 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
                  backend: BackendSpec = None,
                  log_updates: bool = False) -> None:
         self.eps = eps
+        self._seed = seed
         self.counters = counters if counters is not None else Counters()
         self.profile = profile if profile is not None else ParameterProfile.practical(eps)
         self.dynamic_graph = DynamicGraph(n, backend=backend,
@@ -200,6 +201,97 @@ class FullyDynamicMatching(DynamicMatchingAlgorithm):
         self.counters.add("update_work", graph.n)  # the n*poly(1/eps) term
         self._updates_since_rebuild = 0
         self._size_at_rebuild = self._matching.size
+
+    # ------------------------------------------------------------- checkpoint
+    def checkpoint_state(self) -> dict:
+        """Everything a byte-identical resume needs, as plain Python values.
+
+        The packed form (``repro.resilience.checkpoint``) round-trips this
+        dict through a versioned ``.npz``; capturing it is also a deep
+        snapshot (fresh lists/dicts/state tuples), so an in-memory checkpoint
+        stays valid while the live maintainer keeps mutating.
+
+        What is captured -- and, as importantly, what is not: the live edge
+        set (canonically sorted; the *history* that produced it is not
+        needed, only the accounting it left behind), the mate array, the
+        counter bag, the three RNG streams that evolve during a run (the
+        maintainer's, the boosting framework's, and the weak oracle's when it
+        has one), and the rebuild schedule.  The repair context's patchable
+        views are deliberately *not* captured: they are a cache over the
+        graph that the next rebuild recompiles wholesale, with byte-identical
+        results (see ``repro.core.repair``).
+        """
+        import dataclasses as _dc
+
+        matching = self._matching
+        mate = [(-1 if m is None else m) for m in matching.mate_list()]
+        oracle_rng = getattr(self.oracle, "_rng", None)
+        return {
+            "n": self.dynamic_graph.n,
+            "eps": self.eps,
+            "seed": self._seed,
+            "backend": self.dynamic_graph.graph.backend_name,
+            "profile": _dc.asdict(self.profile),
+            "rebuild_slack": self.rebuild_slack,
+            "min_rebuild_gap": self.min_rebuild_gap,
+            "edges": sorted(self.dynamic_graph.graph.edge_list()),
+            "mate": mate,
+            "counters": self.counters.as_dict(),
+            "updates_since_rebuild": self._updates_since_rebuild,
+            "size_at_rebuild": self._size_at_rebuild,
+            "num_updates": self.dynamic_graph.num_updates,
+            "max_edges_seen": self.dynamic_graph.max_edges_seen,
+            "rng": self.rng.getstate(),
+            "framework_rng": self._framework.rng.getstate(),
+            "oracle_rng": None if oracle_rng is None else oracle_rng.getstate(),
+        }
+
+    @classmethod
+    def from_checkpoint_state(cls, state: dict,
+                              oracle_factory: Optional[OracleFactory] = None,
+                              counters: Optional[Counters] = None,
+                              ) -> "FullyDynamicMatching":
+        """Reconstruct a maintainer whose observable behaviour -- mates,
+        counters, epoch boundaries, every future random draw -- is
+        byte-identical to the one that produced ``state``.
+
+        ``oracle_factory`` must be the factory the original run used (the
+        checkpoint cannot serialize a callable); ``counters`` lets the caller
+        resume into a shared bag -- it is reset to the checkpointed totals,
+        wiping anything the restore itself charged.
+        """
+        profile = ParameterProfile(**state["profile"])
+        alg = cls(int(state["n"]), float(state["eps"]),
+                  oracle_factory=oracle_factory, profile=profile,
+                  rebuild_slack=float(state["rebuild_slack"]),
+                  min_rebuild_gap=int(state["min_rebuild_gap"]),
+                  counters=counters, seed=state["seed"],
+                  backend=state["backend"])
+        # Live edges, in canonical order.  A fresh repair context compiles
+        # its views at the next rebuild, so no note_update calls are needed;
+        # an OMv-style oracle is refreshed wholesale afterwards instead of
+        # being notified per edge.
+        alg.dynamic_graph.insert_edges(state["edges"])
+        if hasattr(alg.oracle, "rebuild"):
+            alg.oracle.rebuild()
+        # Matched pairs go through Matching.add so a mirrored matching keeps
+        # the repair baselines fresh, exactly as the original run did.
+        for u, v in enumerate(state["mate"]):
+            if v > u:
+                alg._matching.add(u, v)
+        # Counters last: reconstruction above may have charged the bag.
+        alg.counters.reset()
+        alg.counters.merge(state["counters"])
+        alg.rng.setstate(state["rng"])
+        alg._framework.rng.setstate(state["framework_rng"])
+        oracle_rng = getattr(alg.oracle, "_rng", None)
+        if state["oracle_rng"] is not None and oracle_rng is not None:
+            oracle_rng.setstate(state["oracle_rng"])
+        alg._updates_since_rebuild = int(state["updates_since_rebuild"])
+        alg._size_at_rebuild = int(state["size_at_rebuild"])
+        alg.dynamic_graph.restore_accounting(int(state["num_updates"]),
+                                             int(state["max_edges_seen"]))
+        return alg
 
     # ------------------------------------------------------------- accounting
     def amortized_update_work(self) -> float:

@@ -51,7 +51,7 @@ def payload_digest(payload: object) -> bytes:
     """
     try:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception:  # noqa: BLE001 - unpicklable payloads still get a digest
+    except Exception:  # noqa: BLE001  # repro: allow[swallowed-exception] -- fallback, not recovery: unpicklable payloads still get a (repr-based) digest, and both digests of a payload use the same path
         blob = repr(payload).encode("utf-8", errors="replace")
     return hashlib.sha256(blob).digest()
 

@@ -233,6 +233,23 @@ class DynamicGraph:
         """Batched delete: log one :class:`Update` per edge, mutate in bulk."""
         return self.apply_all(Update.delete(u, v) for u, v in edges)
 
+    @invalidates("_num_updates", "_max_edges")
+    def restore_accounting(self, num_updates: int, max_edges_seen: int) -> None:
+        """Overwrite the update/edge accounting (checkpoint restore only).
+
+        Rebuilding a snapshot from a checkpoint bulk-inserts the live edges,
+        which charges ``num_updates``/``max_edges_seen`` as if the history
+        were a single insert run; this puts back the figures of the original
+        run so a resumed maintainer is byte-identical to the uninterrupted
+        one.  Never call it outside a restore path.
+        """
+        if num_updates < 0 or max_edges_seen < self._graph.m:
+            raise ValueError(
+                f"inconsistent accounting: num_updates={num_updates}, "
+                f"max_edges_seen={max_edges_seen} with {self._graph.m} live edges")
+        self._num_updates = int(num_updates)
+        self._max_edges = int(max_edges_seen)
+
     # ----------------------------------------------------------------- chunks
     @staticmethod
     def chunk_updates(updates: Sequence[Update], chunk_size: int,

@@ -36,6 +36,8 @@ from repro.exec.executor import Executor, ExecutorSpec
 from repro.exec.isolation import resolve_isolation
 from repro.exec.pool import run_machine_chunk
 from repro.instrumentation.counters import Counters
+from repro.resilience import faults as faults_mod
+from repro.resilience.faults import FaultPlan
 
 Message = Tuple[int, object]  # (destination machine, payload)
 
@@ -80,13 +82,23 @@ class MPCSimulator:
         :class:`~repro.exec.isolation.IsolationViolation` instead of
         silently diverging once rounds run in a pool.  ``None`` (default)
         reads the ``REPRO_EXEC_ISOLATION`` environment flag.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` injecting
+        deterministic message faults at the exchange barrier: a produced
+        message may be dropped or duplicated, and a sender's outbox may be
+        delivered in a permuted order.  Faults act on *delivery* only --
+        programs run unmodified, validation sees what they produced -- and
+        word/memory accounting reflects what was actually delivered.
+        Injections are tallied as ``mpc_faults_dropped`` /
+        ``mpc_faults_duplicated`` / ``mpc_faults_reordered``.
     """
 
     def __init__(self, num_machines: int, memory_per_machine: Optional[int] = None,
                  counters: Optional[Counters] = None, strict: bool = True,
                  executor: ExecutorSpec = None,
                  chunks: Optional[int] = None,
-                 isolation: Optional[bool] = None) -> None:
+                 isolation: Optional[bool] = None,
+                 fault_plan: Optional["FaultPlan"] = None) -> None:
         if num_machines <= 0:
             raise ValueError("need at least one machine")
         self.num_machines = num_machines
@@ -101,6 +113,8 @@ class MPCSimulator:
         self._chunks = chunks
         self._picklable = PicklabilityProbe()
         self._guard = resolve_isolation(isolation, "mpc")
+        self._faults = fault_plan
+        self._fault_round = 0
         # local storage of each machine: a list of payloads, each sized in
         # words by payload_words (unknown objects count 1)
         self.storage: List[List[object]] = [[] for _ in range(num_machines)]
@@ -170,6 +184,9 @@ class MPCSimulator:
             # any divergence is a mutation-after-send
             self._guard.verify()
         outboxes = self._execute_programs(program)
+        if self._faults is not None:
+            outboxes = self._apply_message_faults(outboxes)
+        self._fault_round += 1
 
         # barrier: merge outboxes in machine order (deterministic regardless
         # of how the programs were executed), sizing each payload once
@@ -223,6 +240,43 @@ class MPCSimulator:
         return values
 
     # --------------------------------------------------------------- internal
+    def _apply_message_faults(
+            self, outboxes: List[List[Message]]) -> List[List[Message]]:
+        """Rewrite the round's outboxes per the fault plan (delivery side).
+
+        A dropped message vanishes before sizing; a duplicated one is
+        delivered twice (the copy is a ``deepcopy``, matching the physical
+        independence a real resend would have); a reordered sender has its
+        surviving outbox permuted deterministically.  The sender-side
+        originals retained by an :class:`IsolationGuard` are untouched --
+        faults model the network, not the program.
+        """
+        import copy as _copy
+
+        plan = self._faults
+        round_index = self._fault_round
+        faulted: List[List[Message]] = []
+        for sender, msgs in enumerate(outboxes):
+            kept: List[Message] = []
+            for slot, (dest, payload) in enumerate(msgs):
+                action = plan.message_fault("mpc", round_index, sender,
+                                            dest, slot)
+                if action == faults_mod.DROP:
+                    self.counters.add("mpc_faults_dropped")
+                    continue
+                kept.append((dest, payload))
+                if action == faults_mod.DUPLICATE:
+                    self.counters.add("mpc_faults_duplicated")
+                    kept.append((dest, _copy.deepcopy(payload)))
+            if len(kept) > 1 and plan.reorders_round("mpc", round_index,
+                                                     sender):
+                self.counters.add("mpc_faults_reordered")
+                order = plan.permutation("mpc", round_index, sender,
+                                         len(kept))
+                kept = [kept[j] for j in order]
+            faulted.append(kept)
+        return faulted
+
     def _violation(self, machine_id: int, amount: int) -> None:
         self.counters.add("mpc_memory_violations")
         if self.strict:

@@ -1,0 +1,83 @@
+"""Bounded, deterministic retry/backoff policy.
+
+The backoff schedule is a pure function of the attempt number -- no jitter,
+no clock reads -- because the bench harness pins byte-identical behaviour
+across runs and a randomized schedule would make retried suites
+unreproducible.  The sleeper is injectable so tests (and the serial runner's
+hot path) never actually block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to back off between attempts.
+
+    ``backoff_s(failure)`` is ``base * multiplier ** (failure - 1)`` capped
+    at ``cap_s``; ``failure`` counts from 1 (the delay after the first
+    failure).  A zero ``base_s`` disables sleeping entirely.
+    """
+
+    max_retries: int = 0
+    base_s: float = 0.0
+    multiplier: float = 2.0
+    cap_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts allowed (initial try + retries)."""
+        return self.max_retries + 1
+
+    def retryable(self, failures: int) -> bool:
+        """Whether another attempt is allowed after ``failures`` failures."""
+        return failures <= self.max_retries
+
+    def backoff_s(self, failure: int) -> float:
+        """Deterministic delay before the retry that follows failure number
+        ``failure`` (1-based)."""
+        if self.base_s <= 0 or failure < 1:
+            return 0.0
+        return min(self.cap_s, self.base_s * self.multiplier ** (failure - 1))
+
+    def schedule(self) -> Tuple[float, ...]:
+        """Every backoff delay the policy can produce, in order."""
+        return tuple(self.backoff_s(i) for i in range(1, self.max_retries + 1))
+
+
+def call_with_retries(fn: Callable[[int], object], policy: RetryPolicy,
+                      retry_on: Tuple[Type[BaseException], ...],
+                      sleep: Optional[Callable[[float], None]] = None,
+                      on_retry: Optional[Callable[[int, BaseException], None]] = None):
+    """Run ``fn(attempt)`` under ``policy``.
+
+    Only exceptions in ``retry_on`` are retried; anything else propagates
+    immediately (an assertion failure is a bug, not a transient fault).  The
+    final failure re-raises the last ``retry_on`` exception.
+    """
+    sleeper = sleep if sleep is not None else time.sleep
+    failures = 0
+    while True:
+        try:
+            return fn(failures)
+        except retry_on as exc:
+            failures += 1
+            if not policy.retryable(failures):
+                raise
+            if on_retry is not None:
+                on_retry(failures, exc)
+            delay = policy.backoff_s(failures)
+            if delay > 0:
+                sleeper(delay)

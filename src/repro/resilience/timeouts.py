@@ -1,0 +1,68 @@
+"""Wall-clock deadlines for in-process task execution.
+
+``deadline(seconds)`` arms ``SIGALRM`` (via ``signal.setitimer``) around a
+block and raises :class:`TaskTimeout` when the block overruns.  Signal-based
+interruption is the only way to preempt arbitrary Python code without
+cooperation from the task, and it is exactly what a bench *worker process*
+can afford: each pool worker runs one task at a time on its main thread.
+
+Two environments cannot be enforced this way and degrade to "no deadline"
+rather than failing: non-main threads (CPython only delivers signals to the
+main thread) and platforms without ``setitimer`` (Windows).  Callers that
+need a hard guarantee in those environments must enforce it from *outside*
+the process -- the pooled bench runner does exactly that, treating a worker
+that blows through its grace period as a hung worker and terminating it.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class TaskTimeout(RuntimeError):
+    """A task exceeded its wall-clock deadline."""
+
+    def __init__(self, label: str, seconds: float) -> None:
+        super().__init__(f"{label} exceeded {seconds:g}s wall-clock deadline")
+        self.label = label
+        self.seconds = seconds
+
+
+def can_enforce_deadlines() -> bool:
+    """Whether :func:`deadline` can actually interrupt the current thread."""
+    return (hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextmanager
+def deadline(seconds: Optional[float], label: str = "task") -> Iterator[bool]:
+    """Raise :class:`TaskTimeout` if the block runs longer than ``seconds``.
+
+    Yields whether the deadline is actually being enforced (``False`` for
+    ``None``/non-positive timeouts and for environments where SIGALRM is
+    unavailable).  The previous SIGALRM disposition and any outer itimer are
+    restored on exit, so deadlines nest (the innermost wins while active).
+    """
+    if seconds is None or seconds <= 0 or not can_enforce_deadlines():
+        yield False
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeout(label, seconds)
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    previous_delay, previous_interval = signal.setitimer(
+        signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if previous_delay > 0:
+            # re-arm the outer deadline with whatever budget it has left
+            remaining = max(1e-6, previous_delay - seconds)
+            signal.setitimer(signal.ITIMER_REAL, remaining,
+                             previous_interval)

@@ -38,6 +38,28 @@ _CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
 FORMAT_VERSION = 1
 
 
+class TraceFormatError(ValueError):
+    """A trace file that cannot be read: corrupt, truncated, or version-skewed.
+
+    Carries the offending ``path``, a human ``reason``, and -- when the
+    failure is a version mismatch -- ``expected_version`` / ``found_version``
+    so callers can distinguish "re-record this trace" from "wrong file".
+    """
+
+    def __init__(self, path, reason: str,
+                 expected_version: Optional[int] = None,
+                 found_version: Optional[int] = None) -> None:
+        self.path = str(path)
+        self.reason = reason
+        self.expected_version = expected_version
+        self.found_version = found_version
+        detail = f"{self.path}: {reason}"
+        if found_version is not None:
+            detail += (f" (file is v{found_version}, this build reads "
+                       f"v{expected_version})")
+        super().__init__(detail)
+
+
 def _numpy():
     try:
         import numpy
@@ -130,19 +152,42 @@ class Trace:
 
     @staticmethod
     def load(path) -> "Trace":
+        """Read a trace written by :meth:`save`.
+
+        Raises :class:`TraceFormatError` for anything unreadable -- a
+        truncated/corrupt container, a non-trace ``.npz``, or a format
+        version this build does not speak -- so callers get one typed error
+        (with ``path`` and, for version skew, ``expected_version`` /
+        ``found_version``) instead of whatever NumPy's zip layer leaks.
+        A missing file still raises :class:`FileNotFoundError`.
+        """
+        import zipfile
+
         np = _numpy()
-        with np.load(str(path)) as payload:
-            missing = {"version", "n", "kind", "u", "v"} - set(payload.files)
-            if missing:
-                raise ValueError(
-                    f"{path}: not a trace file (missing {sorted(missing)})")
-            version = int(payload["version"])
-            if version != FORMAT_VERSION:
-                raise ValueError(
-                    f"{path}: trace format v{version}, this build reads "
-                    f"v{FORMAT_VERSION}")
-            return Trace(int(payload["n"]), payload["kind"], payload["u"],
-                         payload["v"])
+        try:
+            with np.load(str(path)) as payload:
+                missing = ({"version", "n", "kind", "u", "v"}
+                           - set(payload.files))
+                if missing:
+                    raise TraceFormatError(
+                        path,
+                        f"not a trace file (missing {sorted(missing)})")
+                version = int(payload["version"])
+                if version != FORMAT_VERSION:
+                    raise TraceFormatError(
+                        path, "trace format version mismatch",
+                        expected_version=FORMAT_VERSION,
+                        found_version=version)
+                return Trace(int(payload["n"]), payload["kind"],
+                             payload["u"], payload["v"])
+        except (FileNotFoundError, TraceFormatError):
+            raise
+        except (zipfile.BadZipFile, KeyError, ValueError, EOFError,
+                OSError) as exc:
+            # truncated download, disk corruption, or a non-npz file: NumPy
+            # surfaces these as a zoo of low-level errors
+            raise TraceFormatError(
+                path, f"corrupt trace file ({exc})") from exc
 
     # ----------------------------------------------------------------- replay
     def stream(self, name: Optional[str] = None) -> UpdateStream:

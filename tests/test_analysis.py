@@ -557,6 +557,97 @@ class TestHotPathAllocFamily:
         assert report.suppressed_count == 1
 
 
+# ------------------------------------------------------ swallowed-exception
+class TestSwallowedExceptionFamily:
+    def test_broad_pass_handler_detected(self, tmp_path):
+        plant(tmp_path, "resilience/fx.py", """\
+            def restore(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+        """)
+        assert "swallowed-exception" in new_rules(lint(tmp_path))
+
+    def test_bare_except_and_tuple_detected(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            def drain(queue):
+                try:
+                    queue.get_nowait()
+                except:
+                    pass
+        """)
+        plant(tmp_path, "bench/fx.py", """\
+            def harvest(future):
+                try:
+                    future.cancel()
+                except (OSError, Exception):
+                    pass
+        """)
+        report = lint(tmp_path)
+        hits = [f for f in report.new_findings
+                if f.rule == "swallowed-exception"]
+        assert len(hits) == 2
+
+    def test_reraise_and_returned_value_are_clean(self, tmp_path):
+        plant(tmp_path, "exec/fx.py", """\
+            def retry(task):
+                try:
+                    return task()
+                except Exception:
+                    raise
+
+            def blame(task):
+                try:
+                    return task()
+                except Exception as exc:
+                    return ("ERROR", str(exc))
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_recording_the_failure_is_clean(self, tmp_path):
+        plant(tmp_path, "bench/fx.py", """\
+            def walk(task, failures):
+                try:
+                    return task()
+                except Exception as exc:
+                    failures.append({"error": str(exc)})
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_narrow_handler_is_clean(self, tmp_path):
+        plant(tmp_path, "dynamic/fx.py", """\
+            def lookup(d, k):
+                try:
+                    return d[k]
+                except KeyError:
+                    pass
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_rule_scoped_to_recovery_packages(self, tmp_path):
+        plant(tmp_path, "core/fx.py", """\
+            def restore(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+        """)
+        assert new_rules(lint(tmp_path)) == set()
+
+    def test_pragma_suppresses(self, tmp_path):
+        plant(tmp_path, "resilience/fx.py", """\
+            def probe(path):
+                try:
+                    return open(path).read()
+                except Exception:  # repro: allow[swallowed-exception] -- best-effort probe, absence is a valid answer
+                    pass
+        """)
+        report = lint(tmp_path)
+        assert report.new_findings == []
+        assert report.suppressed_count == 1
+
+
 # --------------------------------------- acceptance: parallel-safety family
 def test_parallel_safety_family_detects_planted_fixtures(tmp_path):
     plant(tmp_path, "exec/escape_fx.py", """\
@@ -806,7 +897,7 @@ class TestCLI:
                         "memo-invalidation-missing",
                         "mirror-write-outside-funnel",
                         "exec-escape", "send-aliasing", "global-write",
-                        "hot-path-alloc"):
+                        "hot-path-alloc", "swallowed-exception"):
             assert rule_id in out
 
     def test_bad_path_is_usage_error(self, tmp_path, capsys):

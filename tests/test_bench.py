@@ -39,8 +39,8 @@ ALL_SCENARIOS = (
     "ablation_schedule", "backends", "fig1_structures", "fig2_overtake",
     "fig3_hprime_decay", "fig4_sampling", "lemma53_initial_matching",
     "quality_vs_eps", "scaling_n", "table1_congest", "table1_mpc",
-    "table2_dynamic", "table2_latency", "table2_offline", "table2_omv",
-    "table2_realgraph",
+    "table2_chaos", "table2_dynamic", "table2_latency", "table2_offline",
+    "table2_omv", "table2_realgraph",
 )
 
 
@@ -368,6 +368,44 @@ class TestDiscovery:
         assert not (tmp_path / "BENCH__toy.json").exists()
         capsys.readouterr()
 
+    def test_run_cli_resilience_flags_land_in_meta(
+            self, toy_scenario, tmp_path, monkeypatch, capsys):
+        """--timeout-s/--retries/--faults are recorded in the suite meta so
+        a BENCH file always says under which execution policy it was made."""
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert cli.main(["run", "--scenario", "_toy", "--smoke",
+                         "--timeout-s", "5", "--retries", "2",
+                         "--faults", "seed=3"]) == 0
+        with open(tmp_path / "BENCH__toy.json") as handle:
+            payload = json.load(handle)
+        meta = payload["meta"]
+        assert meta["timeout_s"] == 5.0
+        assert meta["retries"] == 2
+        assert meta["fault_plan"] == {"seed": 3}
+        capsys.readouterr()
+
+    def test_run_cli_resilience_flags_off_by_default(
+            self, toy_scenario, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert cli.main(["run", "--scenario", "_toy", "--smoke"]) == 0
+        with open(tmp_path / "BENCH__toy.json") as handle:
+            meta = json.load(handle)["meta"]
+        assert "timeout_s" not in meta
+        assert "retries" not in meta
+        assert "fault_plan" not in meta
+        capsys.readouterr()
+
+    def test_run_cli_rejects_nonpositive_timeout(self, toy_scenario, capsys):
+        assert cli.main(["run", "--scenario", "_toy", "--smoke",
+                         "--timeout-s", "0"]) == 2
+        assert "--timeout-s must be > 0" in capsys.readouterr().err
+
+    def test_run_cli_rejects_malformed_fault_spec(self, toy_scenario,
+                                                  capsys):
+        assert cli.main(["run", "--scenario", "_toy", "--smoke",
+                         "--faults", "bogus"]) == 2
+        assert "fault" in capsys.readouterr().err
+
 
 # --------------------------------------------------------------- smoke gate
 def test_smoke_gate_all_scenarios(tmp_path):
@@ -431,6 +469,21 @@ def test_smoke_gate_all_scenarios(tmp_path):
         assert {"p50", "p99", "max"} <= set(latency)
         assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
         assert record["counters"]["p99_speedup_vs_rebuild"] >= 5.0
+
+    # the chaos drill must recover to a byte-identical end state on both
+    # backends under its fixed fault plan, and report recovery latency
+    # percentiles (acceptance criterion)
+    chaos_records = [record for record in records
+                     if record["scenario"] == "table2_chaos"]
+    assert {r["params"]["backend"] for r in chaos_records} == \
+        {"adjset", "csr"}
+    for record in chaos_records:
+        assert record["counters"]["end_state_equal"] == 1.0
+        assert record["counters"]["chaos_crashes"] >= 2.0
+        assert record["counters"]["chaos_restores"] >= 2.0
+        latency = record["latency"]
+        assert {"p50", "p99", "max"} <= set(latency)
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
 
     # ---- perf gate: wall-time regressions vs the committed baseline fail
     # loudly.  The threshold is generous (hosts differ, smoke runs are

@@ -66,17 +66,50 @@ class TestTraceRoundTrip:
             Trace.record(iter([Update.insert(0, 1)]))
 
     def test_load_rejects_non_trace_and_bad_version(self, tmp_path):
+        from repro.workloads.trace import FORMAT_VERSION, TraceFormatError
+
         bad = tmp_path / "bad.npz"
         np.savez(bad, foo=np.zeros(3))
-        with pytest.raises(ValueError, match="not a trace"):
+        with pytest.raises(TraceFormatError, match="not a trace") as excinfo:
             Trace.load(bad)
+        assert excinfo.value.path == str(bad)
         worse = tmp_path / "worse.npz"
         np.savez(worse, version=np.int64(99), n=np.int64(1),
                  kind=np.zeros(0, dtype=np.int64),
                  u=np.zeros(0, dtype=np.int64),
                  v=np.zeros(0, dtype=np.int64))
-        with pytest.raises(ValueError, match="format v99"):
+        with pytest.raises(TraceFormatError, match="file is v99") as excinfo:
             Trace.load(worse)
+        # the typed error carries both versions for "re-record vs wrong file"
+        assert excinfo.value.expected_version == FORMAT_VERSION
+        assert excinfo.value.found_version == 99
+        # TraceFormatError subclasses ValueError: pre-hardening callers that
+        # caught ValueError keep working
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_load_truncated_file_raises_typed_error(self, tmp_path):
+        from repro.workloads.trace import TraceFormatError
+
+        trace = Trace.record(sliding_window(8, 30, window=6, seed=0))
+        path = trace.save(tmp_path / "whole.npz")
+        blob = open(path, "rb").read()
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceFormatError, match="corrupt") as excinfo:
+            Trace.load(truncated)
+        assert excinfo.value.path == str(truncated)
+
+    def test_load_garbage_bytes_raises_typed_error(self, tmp_path):
+        from repro.workloads.trace import TraceFormatError
+
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"definitely not a zip container")
+        with pytest.raises(TraceFormatError, match="corrupt"):
+            Trace.load(garbage)
+
+    def test_load_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Trace.load(tmp_path / "absent.npz")
 
     def test_rejects_unknown_kind_codes(self):
         with pytest.raises(ValueError, match="kind codes"):

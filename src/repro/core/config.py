@@ -100,8 +100,13 @@ class ParameterProfile:
     oracle_c: float = 2.0
     backend: Optional[str] = None
     #: phase-engine selector: ``"array"`` (vectorized candidate generation,
-    #: the default) or ``"reference"`` (the scalar path, kept byte-identical
-    #: for the parity suite; also the fallback when NumPy is missing)
+    #: the default), ``"kernel"`` (the array engine plus packed-bitset
+    #: word-parallel sweeps from :mod:`repro.core.kernels` on the hot
+    #: candidate passes; degrades to plain array behaviour when the packed
+    #: adjacency would blow the memory budget) or ``"reference"`` (the
+    #: scalar path, kept byte-identical for the parity suite; also the
+    #: fallback when NumPy is missing).  All three engines are
+    #: byte-identical -- same matchings, same counters, same rng stream.
     engine: str = "array"
     #: epoch-repair selector for the dynamic maintainers: ``"rebuild"`` (the
     #: default -- every epoch boundary reconstructs the per-phase state from

@@ -32,13 +32,18 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
+
+try:  # the packed-bitset kernel tier needs numpy
+    from repro.core import kernels
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    kernels = None  # type: ignore[assignment]
 from repro.instrumentation.counters import Counters
 from repro.core.config import ParameterProfile
 from repro.core.boosting import stage_right_vertices
 from repro.core.oracles import CountingWeakOracle, WeakOracle, ensure_counting_weak
 from repro.core.operations import apply_augmentations, augment_op, overtake_op
 from repro.core.phase import contract_pass, run_phase
-from repro.core.structures import PhaseState, Structure
+from repro.core.structures import FrozenViews, PhaseState, Structure
 
 Edge = Tuple[int, int]
 
@@ -60,19 +65,29 @@ class SamplingOracleDriver:
         self.patience = patience
 
     # -- sampling helpers ----------------------------------------------------
+    # ``random.choice(seq)`` is exactly ``seq[rng._randbelow(len(seq))]``;
+    # drawing through ``_randbelow`` directly skips one interpreter frame per
+    # structure per iteration (the samplers dominate the dynamic-stack
+    # profile) while consuming the identical random stream.
     def _sample_outer_per_structure(self, state: PhaseState) -> List[int]:
+        # iterating the live dict view is safe here (sampling never mutates
+        # the structure set) and skips the defensive copy live_structures()
+        # pays for callers that do
+        randbelow = self.rng._randbelow
         sampled = []
-        for structure in state.live_structures():
+        for structure in state.structures.values():
             outs = structure.outer_vertices()
             if outs:
-                sampled.append(self.rng.choice(outs))
+                sampled.append(outs[randbelow(len(outs))])
         return sampled
 
     def _sample_vertex_per_structure(self, state: PhaseState) -> List[int]:
+        randbelow = self.rng._randbelow
         sampled = []
-        for structure in state.live_structures():
+        for structure in state.structures.values():
             if structure.g_vertices:
-                sampled.append(self.rng.choice(structure.sorted_vertices()))
+                verts = structure.sorted_vertices()
+                sampled.append(verts[randbelow(len(verts))])
         return sampled
 
     @staticmethod
@@ -86,8 +101,11 @@ class SamplingOracleDriver:
         skips the stage.  Most stages of a warm-started rebuild are skipped
         this way.
         """
-        return any(state.eligible_working(structure, stage)
-                   for structure in state.structures.values())
+        eligible = state.eligible_working
+        for structure in state.structures.values():
+            if eligible(structure, stage):
+                return True
+        return False
 
     # -- Section 6.6 ---------------------------------------------------------
     def extend_active_path(self, state: PhaseState) -> None:
@@ -123,7 +141,16 @@ class SamplingOracleDriver:
                     misses = 0
 
     def _in_structure_overtakes(self, state: PhaseState, stage: int) -> None:
-        """Maintain Invariant 6.10: no s-feasible arc stays inside a structure."""
+        """Maintain Invariant 6.10: no s-feasible arc stays inside a structure.
+
+        The kernel engine replaces the per-neighbour membership filter with
+        one AND of the packed adjacency row against the structure's packed
+        member mask; the surviving candidates come out in the same ascending
+        order the scalar walk tests them in, so both engines perform the
+        identical first overtake.
+        """
+        packed = (state.packed_adjacency() if state.engine == "kernel"
+                  else None)
         for structure in state.live_structures():
             if not state.eligible_working(structure, stage):
                 continue
@@ -132,10 +159,14 @@ class SamplingOracleDriver:
             for x in list(w.vertices):
                 if done:
                     break
-                for y in state.sorted_neighbors(x):
-                    node_y = state.omega(y)
-                    if node_y is None or node_y.structure is not structure:
-                        continue
+                if packed is not None:
+                    candidates = kernels.bits_of_int(
+                        state.packed_int_row(x) & structure.member_bits())
+                else:
+                    candidates = [y for y in state.sorted_neighbors(x)
+                                  if (node_y := state.omega(y)) is not None
+                                  and node_y.structure is structure]
+                for y in candidates:
                     if state.arc_type(x, y) == 3:
                         overtake_op(state, x, y, stage + 1)
                         state.counters.add("in_structure_overtakes")
@@ -279,6 +310,10 @@ class WeakOracleBoostingFramework:
         if warm_start and initial is not None and initial.size > 0:
             scales = scales[-2:]
             self.counters.add("warm_rebuilds")
+        # the graph is fixed for the whole rebuild: share the frozen derived
+        # views across its phases (run_phase ignores this under ``context``,
+        # whose patched copies already persist between phases)
+        views = FrozenViews() if context is None else None
         for h in scales:
             stagnant = 0
             for _t in range(self.profile.phases(h)):
@@ -286,7 +321,7 @@ class WeakOracleBoostingFramework:
                 records = run_phase(graph, matching, self.profile, h, driver,
                                     counters=self.counters,
                                     check_invariants=self.check_invariants,
-                                    context=context)
+                                    context=context, shared_views=views)
                 gained = apply_augmentations(matching, records)
                 self.counters.add("matching_gain", gained)
                 if self.profile.early_exit:

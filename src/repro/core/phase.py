@@ -25,6 +25,11 @@ try:  # optional: PhaseState downgrades to engine="reference" without numpy
 except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None  # type: ignore[assignment]
 
+try:  # the packed-bitset kernel tier rides on numpy too
+    from repro.core import kernels
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    kernels = None  # type: ignore[assignment]
+
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
 from repro.instrumentation.counters import Counters
@@ -102,9 +107,29 @@ def _find_type1_arc(state: PhaseState, structure: Structure) -> Optional[Edge]:
     assert w is not None
     # Bulk mask scan only pays off on non-trivial blossoms; a trivial
     # working node (the overwhelmingly common case) walks its memoised
-    # sorted neighbour list scalar-wise.  Both paths scan the identical
+    # sorted neighbour list scalar-wise.  All paths scan the identical
     # candidate order, so the engines stay byte-identical either way.
-    if state.engine == "array" and not w.is_trivial:
+    if state.engine == "kernel" and not w.is_trivial:
+        if state.packed_adjacency() is not None:
+            # outer vertices of this structure minus the working node itself:
+            # one ANDN sweep replaces the per-candidate node/structure checks
+            mask = (structure.outer_bits()
+                    & ~kernels.int_from_indices(w.vertices))
+            mate = state.matching.mate
+            for x in w.vertices:
+                hit = state.packed_int_row(x) & mask
+                if not hit:
+                    continue
+                y = (hit & -hit).bit_length() - 1
+                if mate(x) == y:
+                    # x has exactly one mate, so at most one bit to skip
+                    hit &= hit - 1
+                    if not hit:
+                        continue
+                    y = (hit & -hit).bit_length() - 1
+                return x, y
+            return None
+    if state.engine in ("array", "kernel") and not w.is_trivial:
         indptr, indices = state.adjacency()
         verts = w.vertices
         chunks = [indices[indptr[x]:indptr[x + 1]] for x in verts]
@@ -175,7 +200,7 @@ def augment_pass(state: PhaseState) -> int:
     Returns the number of augmentations performed.
     """
     total = 0
-    if state.engine == "array":
+    if state.engine in ("array", "kernel"):
         eu, ev = state.edge_arrays()
         idx = _type2_candidates(state)
         candidates = zip(eu[idx].tolist(), ev[idx].tolist())
@@ -265,7 +290,7 @@ def run_phase(graph: Graph, matching: Matching, profile: ParameterProfile,
               h: float, driver: PhaseDriver,
               counters: Optional[Counters] = None,
               check_invariants: bool = False,
-              context=None) -> List[AugmentationRecord]:
+              context=None, shared_views=None) -> List[AugmentationRecord]:
     """Execute one phase (Algorithm 2) and return the recorded augmentations.
 
     The matching is *not* modified; apply the returned records with
@@ -276,10 +301,16 @@ def run_phase(graph: Graph, matching: Matching, profile: ParameterProfile,
     borrowed from the context instead of built from scratch, and returned to
     the clean baseline on the way out (even on error).  The executed
     algorithm is byte-identical either way.
+
+    ``shared_views`` (a :class:`~repro.core.structures.FrozenViews`) lets a
+    framework running many phases over one fixed graph share the frozen
+    derived views (CSR, sorted neighbours, packed rows) across them instead
+    of rematerialising per phase; ignored under ``context``.
     """
     counters = counters if counters is not None else Counters()
     state = PhaseState(graph, matching, profile.ell_max, counters,
-                       engine=profile.engine, context=context)
+                       engine=profile.engine, context=context,
+                       shared_views=shared_views)
     try:
         state.init_structures()
         if not state.structures:
@@ -290,11 +321,14 @@ def run_phase(graph: Graph, matching: Matching, profile: ParameterProfile,
         limit = profile.structure_limit(h)
         tau_max = profile.pass_bundles(h)
 
+        progress_keys = ("augmentations", "contractions", "overtakes")
         for _tau in range(tau_max):
             counters.add("pass_bundles")
             for structure in state.live_structures():
                 structure.reset_marks(limit)
-            before = counters.snapshot()
+            # only the three progress counters gate early exit; reading them
+            # directly avoids copying the whole counter dict every bundle
+            before = [counters.get(key) for key in progress_keys]
 
             driver.extend_active_path(state)
             driver.contract_and_augment(state)
@@ -307,9 +341,8 @@ def run_phase(graph: Graph, matching: Matching, profile: ParameterProfile,
                 break  # every structure augmented away; later bundles no-op
 
             if profile.early_exit:
-                diff = counters.diff(before)
-                progress = sum(diff.get(key, 0) for key in
-                               ("augmentations", "contractions", "overtakes"))
+                progress = sum(counters.get(key) - prev
+                               for key, prev in zip(progress_keys, before))
                 any_active = any(s.active for s in state.live_structures())
                 if progress == 0 and not any_active:
                     break

@@ -37,6 +37,11 @@ try:  # NumPy is optional: without it PhaseState falls back to scalar state
 except ImportError:  # pragma: no cover - the image bakes numpy in
     _np = None  # type: ignore[assignment]
 
+try:  # the packed-bitset kernel tier rides on numpy too
+    from repro.core import kernels as _kernels
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _kernels = None  # type: ignore[assignment]
+
 from repro.graph.backends import compile_csr
 from repro.graph.graph import Graph
 from repro.matching.matching import Matching
@@ -144,7 +149,8 @@ class Structure:
 
     __slots__ = ("alpha", "root", "working", "nodes", "g_vertices",
                  "on_hold", "modified", "extended",
-                 "_outer_cache", "_sorted_cache")
+                 "_outer_cache", "_sorted_cache",
+                 "_outer_bits", "_member_bits")
 
     def __init__(self, alpha: int) -> None:
         self.alpha = alpha
@@ -157,6 +163,8 @@ class Structure:
         self.extended = False
         self._outer_cache: Optional[List[int]] = None
         self._sorted_cache: Optional[List[int]] = None
+        self._outer_bits: Optional[int] = None
+        self._member_bits: Optional[int] = None
 
     @property
     def size(self) -> int:
@@ -200,10 +208,32 @@ class Structure:
             out = self._sorted_cache = sorted(self.g_vertices)
         return out
 
+    def outer_bits(self) -> int:
+        """Indicator int of :meth:`outer_vertices` (kernel engine only).
+
+        Memoised alongside the list view and invalidated by the same
+        :meth:`invalidate_caches` call, so the two can never disagree.
+        """
+        bits = self._outer_bits
+        if bits is None:
+            bits = self._outer_bits = _kernels.int_from_indices(
+                self.outer_vertices())
+        return bits
+
+    def member_bits(self) -> int:
+        """Indicator int of ``g_vertices`` (kernel engine only)."""
+        bits = self._member_bits
+        if bits is None:
+            bits = self._member_bits = _kernels.int_from_indices(
+                self.sorted_vertices())
+        return bits
+
     def invalidate_caches(self) -> None:
         """Drop memoised vertex views (call after membership/flag changes)."""
         self._outer_cache = None
         self._sorted_cache = None
+        self._outer_bits = None
+        self._member_bits = None
 
     def reset_marks(self, limit: int) -> None:
         """Per-pass-bundle initialisation (Algorithm 2, lines 6-9)."""
@@ -222,6 +252,36 @@ class AugmentationRecord:
 
     vertices: List[int]
     new_edges: List[Edge]
+
+
+class FrozenViews:
+    """Frozen-graph view cache, shareable across the phases of one rebuild.
+
+    ``run_phase`` freezes the graph, and the boosting frameworks run many
+    phases over the *same* fixed graph before it next mutates -- so the
+    deterministic derived views (canonical edge pairs, CSR arrays, sorted
+    neighbour lists, packed kernel rows and their int-tier mirrors) can be
+    materialised once per rebuild instead of once per phase.  A framework
+    threads one instance through ``run_phase(..., shared_views=...)``; a
+    standalone phase gets a private instance and behaves exactly as before.
+    Never reuse an instance across graph mutations, and never share one
+    into a context-attached phase (the repair context patches its own
+    packed copy between phases).
+    """
+
+    __slots__ = ("edge_pairs", "eu", "ev", "indptr", "indices", "nbrs",
+                 "packed", "packed_ready", "int_rows")
+
+    def __init__(self) -> None:
+        self.edge_pairs: Optional[List[Edge]] = None
+        self.eu = None
+        self.ev = None
+        self.indptr = None
+        self.indices = None
+        self.nbrs: Dict[int, List[int]] = {}
+        self.packed = None
+        self.packed_ready = False
+        self.int_rows: Dict[int, int] = {}
 
 
 class PhaseState:
@@ -253,8 +313,9 @@ class PhaseState:
 
     def __init__(self, graph: Graph, matching: Matching, ell_max: int,
                  counters: Optional[Counters] = None,
-                 engine: str = "array", context=None) -> None:
-        if engine not in ("array", "reference"):
+                 engine: str = "array", context=None,
+                 shared_views: Optional[FrozenViews] = None) -> None:
+        if engine not in ("array", "reference", "kernel"):
             raise ValueError(f"unknown phase engine {engine!r}")
         self.graph = graph
         self.matching = matching
@@ -267,6 +328,15 @@ class PhaseState:
         self.context = context
         self.structures: Dict[int, Structure] = {}
         self.records: List[AugmentationRecord] = []
+        # frozen-graph derived views (edge pairs, CSR, sorted neighbours,
+        # packed kernel rows + int mirrors), possibly shared across the
+        # phases of one rebuild -- see FrozenViews.  Context-attached phases
+        # always get a private instance: their packed/CSR views delegate to
+        # the context's patched copies, and the int-tier row memo must stay
+        # phase-local so between-phase patches are always observed.
+        self._views = (shared_views
+                       if shared_views is not None and context is None
+                       else FrozenViews())
 
         if context is not None:
             # incremental repair: borrow the persistent per-vertex state and
@@ -301,14 +371,6 @@ class PhaseState:
             self.outer_arr = None
             self.sid_arr = None
             self.nid_arr = None
-
-        # lazily materialised frozen-graph views (deterministic, key-sorted)
-        self._edge_pairs: Optional[List[Edge]] = None
-        self._eu = None
-        self._ev = None
-        self._indptr = None
-        self._indices = None
-        self._nbrs: Optional[Dict[int, List[int]]] = None
 
     # ----------------------------------------------------------- construction
     def init_structures(self) -> None:
@@ -365,50 +427,51 @@ class PhaseState:
         """Canonical ``(u, v)`` edge tuples, key-sorted (both engines' order)."""
         if self.context is not None:
             return self.context.edge_pairs()
-        if self._edge_pairs is None:
+        views = self._views
+        if views.edge_pairs is None:
             if self._use_arrays:
                 eu, ev = self.edge_arrays()
-                self._edge_pairs = list(zip(eu.tolist(), ev.tolist()))
+                views.edge_pairs = list(zip(eu.tolist(), ev.tolist()))
             else:  # pragma: no cover - exercised only without numpy
-                self._edge_pairs = sorted(self.graph.edge_list())
-        return self._edge_pairs
+                views.edge_pairs = sorted(self.graph.edge_list())
+        return views.edge_pairs
 
     def edge_arrays(self):
         """Canonical endpoint arrays ``(eu, ev)`` with ``eu < ev``, key-sorted."""
         if self.context is not None:
             return self.context.edge_arrays()
-        if self._eu is None:
+        views = self._views
+        if views.eu is None:
             backend = self.graph.backend
             if hasattr(backend, "edge_arrays"):
-                self._eu, self._ev = backend.edge_arrays()
+                views.eu, views.ev = backend.edge_arrays()
             else:
                 pairs = sorted(self.graph.edge_list())
-                self._eu = _np.fromiter((u for u, _ in pairs), dtype=_np.int64,
+                views.eu = _np.fromiter((u for u, _ in pairs), dtype=_np.int64,
                                         count=len(pairs))
-                self._ev = _np.fromiter((v for _, v in pairs), dtype=_np.int64,
+                views.ev = _np.fromiter((v for _, v in pairs), dtype=_np.int64,
                                         count=len(pairs))
-        return self._eu, self._ev
+        return views.eu, views.ev
 
     def adjacency(self):
         """CSR ``(indptr, indices)`` of the frozen phase graph (sorted order)."""
         if self.context is not None:
             return self.context.adjacency()
-        if self._indptr is None:
+        views = self._views
+        if views.indptr is None:
             backend = self.graph.backend
             if hasattr(backend, "csr_arrays"):
-                self._indptr, self._indices = backend.csr_arrays()
+                views.indptr, views.indices = backend.csr_arrays()
             else:
                 eu, ev = self.edge_arrays()
-                self._indptr, self._indices = compile_csr(eu, ev, self.graph.n)
-        return self._indptr, self._indices
+                views.indptr, views.indices = compile_csr(eu, ev, self.graph.n)
+        return views.indptr, views.indices
 
     def sorted_neighbors(self, v: int) -> List[int]:
         """Neighbours of ``v`` in ascending order (memoised for the phase)."""
         if self.context is not None:
             return self.context.sorted_neighbors(v)
-        cache = self._nbrs
-        if cache is None:
-            cache = self._nbrs = {}
+        cache = self._views.nbrs
         nbrs = cache.get(v)
         if nbrs is None:
             if self._use_arrays:
@@ -418,6 +481,44 @@ class PhaseState:
                 nbrs = sorted(self.graph.neighbor_list(v))
             cache[v] = nbrs
         return nbrs
+
+    def packed_adjacency(self):
+        """Packed uint64 adjacency rows of the frozen phase graph, or ``None``.
+
+        The kernel engine's view: row ``v`` is the packed neighbour set of
+        ``v``, built lazily (once per phase) from the CSR view via
+        :func:`repro.core.kernels.pack_adjacency` and gated by
+        :func:`repro.core.kernels.packing_budget_ok` -- callers must fall
+        back to the array-tier scan on ``None``, which keeps the engines
+        byte-identical either way.  Context-attached phases borrow the
+        context's incrementally patched copy.
+        """
+        if self.context is not None:
+            return self.context.packed_adjacency()
+        views = self._views
+        if not views.packed_ready:
+            views.packed_ready = True
+            n = self.graph.n
+            if _kernels is not None and _kernels.packing_budget_ok(n):
+                indptr, indices = self.adjacency()
+                views.packed = _kernels.pack_adjacency(indptr, indices, n)
+        return views.packed
+
+    def packed_int_row(self, x: int) -> int:
+        """Row ``x`` of :meth:`packed_adjacency` as one indicator int.
+
+        The per-row sweep format (see the kernels module's int-tier notes):
+        callers guard on ``packed_adjacency() is not None`` first.  Each
+        touched row is converted once and memoised for as long as the views
+        live -- one phase, or a whole rebuild under shared views (a
+        context-attached phase always holds a private memo, so between-phase
+        repair patches are always observed).
+        """
+        rows = self._views.int_rows
+        row = rows.get(x)
+        if row is None:
+            row = rows[x] = _kernels.int_from_words(self.packed_adjacency()[x])
+        return row
 
     def arc_pairs(self) -> List[Edge]:
         """Both orientations of every edge, grouped by (ascending) tail."""
@@ -492,7 +593,13 @@ class PhaseState:
         w = structure.working
         if w is None or structure.on_hold or structure.extended:
             return False
-        return self.distance(w) == stage
+        # distance(w) inlined (this is the hottest predicate of the sampling
+        # driver): 0 at the root, else the matched-edge label of the inner
+        # parent's base vertex
+        parent = w.parent
+        if parent is None:
+            return stage == 0
+        return self.vlabel[parent.vertices[0]] == stage
 
     def distance(self, node: StructNode) -> int:
         """``distance(u)`` of Section 4.6: 0 at the root, else the label of the
@@ -603,6 +710,23 @@ class PhaseState:
             if structure._sorted_cache is not None:
                 assert structure._sorted_cache == sorted(structure.g_vertices), \
                     "stale sorted-vertex cache"
+            if structure._outer_bits is not None:
+                assert (_kernels.bits_of_int(structure._outer_bits)
+                        == sorted(structure.outer_vertices())), \
+                    "stale packed outer mask"
+            if structure._member_bits is not None:
+                assert (_kernels.bits_of_int(structure._member_bits)
+                        == sorted(structure.g_vertices)), \
+                    "stale packed member mask"
+
+        # the packed adjacency (kernel engine) must mirror the CSR view
+        packed = self._views.packed if self.context is None else None
+        if packed is not None:
+            indptr, indices = self.adjacency()
+            for v in range(self.graph.n):
+                assert (_kernels.iter_set_bits(packed[v])
+                        == indices[indptr[v]:indptr[v + 1]].tolist()), \
+                    f"packed adjacency row {v} diverged from the CSR view"
 
         # scalar state and array mirrors must never diverge
         if self._use_arrays:

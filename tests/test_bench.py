@@ -484,6 +484,22 @@ def test_smoke_gate_all_scenarios(tmp_path):
         latency = record["latency"]
         assert {"p50", "p99", "max"} <= set(latency)
         assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+        # snapshot overhead must be reported and the delta-aware writer
+        # must have actually reused sections (acceptance criterion)
+        assert record["counters"]["chaos_checkpoint_overhead_s"] > 0
+        assert record["counters"]["chaos_ckpt_sections_reused"] > 0
+
+    # the OMv scenario runs its kernel-engine profile on both backends;
+    # engine="kernel" is pinned byte-identical to "array" by the parity
+    # suite, so every algorithm counter must agree across backends here
+    # too (acceptance criterion)
+    omv_records = [record for record in records
+                   if record["scenario"] == "table2_omv"]
+    assert {r["params"]["backend"] for r in omv_records} == \
+        {"adjset", "csr"}
+    omv_by_backend = {r["params"]["backend"]: r["counters"]
+                      for r in omv_records}
+    assert omv_by_backend["adjset"] == omv_by_backend["csr"]
 
     # ---- perf gate: wall-time regressions vs the committed baseline fail
     # loudly.  The threshold is generous (hosts differ, smoke runs are
@@ -526,6 +542,26 @@ def test_smoke_gate_all_scenarios(tmp_path):
             + ", ".join(f"{r['scenario']}[{r['backend']}] "
                         f"{r['old'] * 1e3:.3f}ms -> {r['new'] * 1e3:.3f}ms "
                         f"({r['ratio']:.2f}x)" for r in bad_latency))
+
+        # ---- checkpoint-overhead gate: the chaos drill's snapshot cost
+        # (capture + delta-aware encode + disk write, summed over the run)
+        # regresses against the committed baseline.  Same ratio threshold;
+        # the floor is 10ms because smoke runs take a handful of snapshots
+        # each costing about a millisecond -- a breach means the delta
+        # writer's section reuse stopped working, not jitter.  Baselines
+        # predating the metric are skipped by compare_records.
+        ckpt_rows = compare_records(baseline, records,
+                                    fail_over=fail_over,
+                                    metric="chaos_checkpoint_overhead_s")
+        min_ckpt_delta_s = 0.01
+        bad_ckpt = [r for r in regressions(ckpt_rows)
+                    if r["new"] - r["old"] >= min_ckpt_delta_s]
+        assert not bad_ckpt, (
+            f"chaos checkpoint-overhead regression(s) vs committed "
+            f"BENCH_all.json (fail-over {fail_over:g}x): "
+            + ", ".join(f"{r['scenario']}[{r['backend']}] "
+                        f"{r['old'] * 1e3:.3f}ms -> {r['new'] * 1e3:.3f}ms "
+                        f"({r['ratio']:.2f}x)" for r in bad_ckpt))
 
 
 # -------------------------------------------------- static analysis gate

@@ -62,7 +62,7 @@ def _run_fault_free(trace, profile, backend):
 
 # ------------------------------------------------------------ parity matrix
 @pytest.mark.parametrize("backend", ["adjset", "csr"])
-@pytest.mark.parametrize("engine", ["array", "reference"])
+@pytest.mark.parametrize("engine", ["array", "reference", "kernel"])
 @pytest.mark.parametrize("repair", ["rebuild", "incremental"])
 def test_resume_parity_across_configurations(backend, engine, repair,
                                              tmp_path):
@@ -93,6 +93,82 @@ def test_in_memory_and_disk_restores_agree(tmp_path):
         _maintainer(trace, profile, "adjset", Counters()), trace, plan=plan,
         checkpoint_every=5)
     assert _end_state(on_disk) == _end_state(in_memory)
+
+
+# ------------------------------------------------------- delta-aware writer
+@pytest.mark.parametrize("backend", ["adjset", "csr"])
+@pytest.mark.parametrize("engine", ["array", "kernel"])
+def test_delta_and_stateless_snapshots_agree(backend, engine, tmp_path):
+    """``delta_snapshots`` changes the cost of a snapshot, never its bytes."""
+    trace = _workload()
+    profile = _profile(engine, "incremental")
+    plan = FaultPlan(seed=5, crash_updates=(9, len(trace) // 2))
+    results = []
+    for delta in (True, False):
+        survivor, stats = run_with_recovery(
+            _maintainer(trace, profile, backend, Counters()), trace,
+            plan=plan, checkpoint_every=6,
+            checkpoint_path=str(tmp_path / f"d{delta}.npz"),
+            delta_snapshots=delta)
+        results.append((_end_state(survivor), stats.crashes,
+                        stats.checkpoints, stats.replayed_updates))
+        if delta:
+            assert stats.sections_reused > 0
+        else:
+            assert stats.sections_reused == stats.sections_encoded == 0
+    assert results[0] == results[1]
+
+
+def test_delta_writer_matches_one_shot_files(tmp_path):
+    """Every delta save is payload-identical to a stateless save."""
+    np = pytest.importorskip("numpy")
+    from repro.resilience.checkpoint import DeltaCheckpointWriter
+
+    trace = _workload(pairs=12, rounds=2)
+    alg = _maintainer(trace, _profile("array", "incremental"), "adjset",
+                      Counters())
+    writer = DeltaCheckpointWriter()
+    delta_path = str(tmp_path / "delta.npz")
+    one_shot_path = str(tmp_path / "one_shot.npz")
+    for position, upd in enumerate(trace.stream(), start=1):
+        alg.update(upd)
+        if position % 7:
+            continue
+        writer.save(writer.capture(alg, position), delta_path)
+        MaintainerCheckpoint.capture(alg, position).save(one_shot_path)
+        with np.load(delta_path, allow_pickle=False) as got, \
+                np.load(one_shot_path, allow_pickle=False) as want:
+            assert sorted(got.files) == sorted(want.files)
+            for key in want.files:
+                assert np.array_equal(got[key], want[key]), key
+        restored = MaintainerCheckpoint.load(delta_path)
+        assert restored.position == position
+        assert restored.state == MaintainerCheckpoint.load(one_shot_path).state
+    assert writer.stats["sections_reused"] > 0
+
+
+def test_delta_writer_resets_on_new_maintainer(tmp_path):
+    """Revisions are meaningless across maintainers; caches must not leak."""
+    from repro.resilience.checkpoint import DeltaCheckpointWriter
+
+    trace = _workload(pairs=10, rounds=1)
+    profile = _profile("array", "rebuild")
+    writer = DeltaCheckpointWriter()
+    path = str(tmp_path / "swap.npz")
+
+    first = _maintainer(trace, profile, "adjset", Counters())
+    for upd in trace.stream():
+        first.update(upd)
+    writer.save(writer.capture(first, len(trace)), path)
+
+    second = _maintainer(trace, profile, "adjset", Counters(), seed=7)
+    for upd in trace.stream():
+        second.update(upd)
+    writer.save(writer.capture(second, len(trace)), path)
+
+    restored = MaintainerCheckpoint.load(path)
+    assert restored.state == second.checkpoint_state()
+    assert restored.state != first.checkpoint_state()
 
 
 # ------------------------------------------------------------- edge cases
@@ -169,8 +245,12 @@ def test_recovery_stats_default_clean_run():
     reference = _run_fault_free(trace, profile, "adjset")
     survivor, stats = run_with_recovery(
         _maintainer(trace, profile, "adjset", Counters()), trace)
-    assert stats == RecoveryStats(crashes=0, restores=0, checkpoints=1,
-                                  replayed_updates=0, crash_positions=[])
+    # timing / delta-writer fields are nondeterministic; zero them out
+    comparable = dataclasses.replace(stats, checkpoint_ns=0,
+                                     sections_reused=0, sections_encoded=0)
+    assert comparable == RecoveryStats(crashes=0, restores=0, checkpoints=1,
+                                       replayed_updates=0, crash_positions=[])
+    assert stats.checkpoint_ns > 0
     assert _end_state(survivor) == _end_state(reference)
 
 

@@ -1,13 +1,19 @@
-"""Parity suite: the vectorized phase engine vs the scalar reference path.
+"""Parity suite: the three phase-engine tiers against each other.
 
-The PR 4 rewrite keeps two implementations of the phase-engine hot core:
-``engine="array"`` (vectorized candidate generation over the PhaseState
-array mirrors, the default) and ``engine="reference"`` (the scalar loops).
-Both walk candidates in the same deterministic key-sorted order, so seeded
-runs must be *byte-identical*: same matchings, same counters, same epoch
+The phase-engine hot core has three implementations behind the
+``ParameterProfile.engine`` seam: ``"reference"`` (scalar loops),
+``"array"`` (vectorized candidate generation over the PhaseState array
+mirrors, the default) and ``"kernel"`` (the array tier with packed-bitset
+word-parallel sweeps from :mod:`repro.core.kernels` where a packed
+adjacency is available).  All walk candidates in the same deterministic
+key-sorted order -- a packed AND/ANDN sweep reads survivors in ascending
+bit order, exactly the order the scalar walk tests them -- so seeded runs
+must be *byte-identical*: same matchings, same counters, same epoch
 boundaries.  These property-style tests pin that equivalence on seeded
-random graphs and update streams; any divergence means the array mirrors
-went stale or a mask dropped/added a candidate.
+random graphs and update streams, and for the kernel tier across the full
+graph-backend x repair-mode grid; any divergence means the array mirrors
+went stale, a mask dropped/added a candidate, or a packed view drifted
+from the structure lists it shadows.
 """
 
 import dataclasses
@@ -32,6 +38,8 @@ EPS = 0.25
 
 ARRAY = ParameterProfile.practical(EPS)
 REFERENCE = dataclasses.replace(ARRAY, engine="reference")
+KERNEL = dataclasses.replace(ARRAY, engine="kernel")
+PROFILES = (ARRAY, REFERENCE, KERNEL)
 
 
 def mates(matching):
@@ -44,7 +52,7 @@ class TestPhaseParity:
         graph = erdos_renyi(40, 0.12, seed=seed)
         base = greedy_maximal_matching(graph)
         results = []
-        for profile in (ARRAY, REFERENCE):
+        for profile in PROFILES:
             matching = base.copy()
             counters = Counters()
             records = run_phase(graph, matching, profile, h=0.5,
@@ -53,32 +61,35 @@ class TestPhaseParity:
             apply_augmentations(matching, records)
             results.append((mates(matching), counters.as_dict(),
                             [(r.vertices, sorted(r.new_edges)) for r in records]))
-        assert results[0] == results[1]
+        for other in results[1:]:
+            assert other == results[0]
 
     @pytest.mark.parametrize("seed", range(3))
     def test_oracle_boosting_framework(self, seed):
         graph = erdos_renyi(36, 0.12, seed=seed)
         results = []
-        for profile in (ARRAY, REFERENCE):
+        for profile in PROFILES:
             counters = Counters()
             framework = BoostingFramework(EPS, profile=profile,
                                           counters=counters, seed=seed)
             matching = framework.run(graph)
             results.append((mates(matching), counters.as_dict()))
-        assert results[0] == results[1]
+        for other in results[1:]:
+            assert other == results[0]
 
     @pytest.mark.parametrize("seed", range(3))
     def test_weak_oracle_framework(self, seed):
         graph = erdos_renyi(30, 0.15, seed=seed)
         results = []
-        for profile in (ARRAY, REFERENCE):
+        for profile in PROFILES:
             counters = Counters()
             framework = WeakOracleBoostingFramework(
                 EPS, GreedyInducedWeakOracle(graph, seed=seed),
                 profile=profile, counters=counters, seed=seed)
             matching = framework.run(graph)
             results.append((mates(matching), counters.as_dict()))
-        assert results[0] == results[1]
+        for other in results[1:]:
+            assert other == results[0]
 
 
 class TestDynamicParity:
@@ -87,27 +98,61 @@ class TestDynamicParity:
         stream = planted_matching_churn(8, rounds=2, seed=seed)
         n, updates = stream.n, stream
         results = []
-        for profile in (ARRAY, REFERENCE):
+        for profile in PROFILES:
             counters = Counters()
             alg = FullyDynamicMatching(n, EPS, profile=profile,
                                        counters=counters, seed=seed)
             for upd in updates:
                 alg.update(upd)
             results.append((mates(alg.current_matching()), counters.as_dict()))
-        assert results[0] == results[1]
+        for other in results[1:]:
+            assert other == results[0]
 
     @pytest.mark.parametrize("seed", range(3))
     def test_offline_stream_sizes_and_epochs(self, seed):
         updates = sliding_window(18, 60, window=16, seed=seed)
         results = []
-        for profile in (ARRAY, REFERENCE):
+        for profile in PROFILES:
             counters = Counters()
             alg = OfflineDynamicMatching(18, EPS, profile=profile,
                                          counters=counters, seed=seed)
             sizes = alg.run(updates)
             results.append((sizes, alg.plan_epochs(updates),
                             counters.as_dict()))
-        assert results[0] == results[1]
+        for other in results[1:]:
+            assert other == results[0]
+
+
+class TestKernelTierGrid:
+    """engine="kernel" vs "array" across graph backends and repair modes.
+
+    The maintainer path is where the packed views earn their keep -- the
+    incremental repair context patches packed adjacency rows in place while
+    the rebuild mode recompiles them wholesale -- so the full backend x
+    repair grid is pinned here, comparing the complete checkpoint state
+    (mates, canonical edges, counters, RNG streams, rebuild schedule).
+    """
+
+    @pytest.mark.parametrize("backend", ["adjset", "csr"])
+    @pytest.mark.parametrize("repair", ["rebuild", "incremental"])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_fully_dynamic_state_identical(self, backend, repair, seed):
+        stream = planted_matching_churn(8, rounds=2, seed=seed)
+        n, updates = stream.n, stream
+        states = []
+        for engine in ("array", "kernel"):
+            profile = dataclasses.replace(ARRAY, engine=engine,
+                                          repair=repair)
+            alg = FullyDynamicMatching(n, EPS, profile=profile,
+                                       counters=Counters(), seed=seed,
+                                       backend=backend)
+            for upd in updates:
+                alg.update(upd)
+            state = alg.checkpoint_state()
+            # the engine name itself is the only field allowed to differ
+            state.pop("profile")
+            states.append(state)
+        assert states[0] == states[1]
 
 
 class TestWarmStart:
